@@ -1,0 +1,105 @@
+// E10 — robustness ablations for the design choices DESIGN.md calls out:
+//   (a) the power exponent alpha (the paper fixes alpha = 3; the library
+//       generalizes to alpha > 1),
+//   (b) static power (the paper ignores it; with a fixed deadline it adds
+//       the same constant to every model, compressing *ratios* but never
+//       reordering models),
+//   (c) the chain DP's time-grid resolution vs the exact optimum
+//       (Theorem 4 is weakly NP-hard on chains).
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace reclaim;
+  bench::banner("E10 ablations (exponent, static power, chain DP)",
+                "the model comparison is robust to alpha and P_static; the "
+                "chain DP converges with grid resolution");
+
+  const double s_max = 2.0;
+  const model::ModeSet modes({0.6, 1.0, 1.4, 2.0});
+
+  // (a) exponent sweep on a fixed mapped workload.
+  {
+    util::Rng rng(1010);
+    const auto app = graph::make_layered(4, 4, 0.5, rng);
+    util::Table table("(a) power exponent alpha",
+                      {"alpha", "E cont", "vdd/cont", "round/cont",
+                       "certified round bound"});
+    for (double alpha : {1.5, 2.0, 2.5, 3.0}) {
+      auto instance = bench::mapped_instance(app, 3, s_max, 1.4, alpha);
+      const auto cont =
+          core::solve_continuous(instance, model::ContinuousModel{s_max});
+      const auto vdd = core::solve_vdd_lp(instance, model::VddHoppingModel{modes});
+      const auto round = core::solve_round_up(instance, modes);
+      if (!cont.feasible || !vdd.solution.feasible || !round.solution.feasible)
+        continue;
+      table.add_row(
+          {util::Table::fmt(alpha, 1), util::Table::fmt(cont.energy, 3),
+           util::Table::fmt_ratio(vdd.solution.energy / cont.energy, 4),
+           util::Table::fmt_ratio(round.solution.energy / cont.energy, 4),
+           util::Table::fmt_ratio(
+               core::discrete_transfer_bound(modes, instance.power), 4)});
+    }
+    table.print(std::cout);
+  }
+
+  // (b) static power: ratios compress, ordering is invariant.
+  {
+    util::Rng rng(1011);
+    const auto app = graph::make_layered(4, 4, 0.5, rng);
+    auto instance = bench::mapped_instance(app, 3, s_max, 1.5);
+    const std::size_t processors = 3;
+    const auto cont =
+        core::solve_continuous(instance, model::ContinuousModel{s_max});
+    const auto round = core::solve_round_up(instance, modes);
+    const auto nodvfs = core::solve_no_dvfs(instance, model::DiscreteModel{modes});
+    util::Table table("(b) static power P_static (added as P*D*p to every model)",
+                      {"P_static", "cont total", "round total", "nodvfs total",
+                       "nodvfs/cont"});
+    for (double p_static : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+      const double e_cont = core::with_static_power(
+          cont.energy, p_static, instance.deadline, processors);
+      const double e_round = core::with_static_power(
+          round.solution.energy, p_static, instance.deadline, processors);
+      const double e_nodvfs = core::with_static_power(
+          nodvfs.energy, p_static, instance.deadline, processors);
+      table.add_row({util::Table::fmt(p_static, 2), util::Table::fmt(e_cont, 2),
+                     util::Table::fmt(e_round, 2), util::Table::fmt(e_nodvfs, 2),
+                     util::Table::fmt_ratio(e_nodvfs / e_cont, 3)});
+    }
+    table.print(std::cout);
+  }
+
+  // (c) chain DP resolution vs the branch-and-bound optimum.
+  {
+    util::Rng rng(1012);
+    const auto chain = graph::make_chain(10, rng);
+    auto instance =
+        core::make_instance(chain, 1.5 * core::min_deadline(chain, s_max));
+    const auto exact = core::solve_discrete_exact(instance, modes);
+    util::Table table("(c) chain DP grid resolution K (10-task chain)",
+                      {"K", "grid cells", "E dp", "vs exact", "feasible"});
+    for (std::size_t k : {2u, 8u, 32u, 128u, 512u}) {
+      core::ChainDpOptions options;
+      options.resolution = k;
+      const auto dp = core::solve_chain_dp(instance, modes, options);
+      table.add_row(
+          {util::Table::fmt(k), util::Table::fmt(dp.grid_cells),
+           dp.solution.feasible ? util::Table::fmt(dp.solution.energy, 4) : "-",
+           dp.solution.feasible && exact.solution.feasible
+               ? util::Table::fmt_ratio(dp.solution.energy /
+                                            exact.solution.energy,
+                                        4)
+               : "-",
+           dp.solution.feasible ? "yes" : "no"});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: (a) gaps shrink as alpha decreases (energy "
+               "is less speed-sensitive); (b) ratios compress toward 1 with "
+               "P_static but the ordering never flips; (c) DP energy is "
+               "non-increasing in K and reaches the exact optimum.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// E4 — Theorem 4: Discrete MinEnergy is NP-complete; the exact
+// branch-and-bound is exponential in the worst case but prunes well, and
+// it matches the enumeration oracle where the oracle is affordable.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace reclaim;
+  bench::banner("E4 exact Discrete (Theorem 4)",
+                "B&B nodes vs the m^n enumeration space; optimality "
+                "cross-checked against the oracle for n <= 8");
+
+  util::Rng rng(404);
+  util::Table table("Branch-and-bound against the exponential wall",
+                    {"n", "m", "m^n", "B&B nodes", "pruned to", "t (ms)",
+                     "oracle match"});
+
+  const double s_max = 2.0;
+  for (std::size_t n : {6u, 8u, 10u, 12u}) {
+    for (std::size_t m : {3u, 5u}) {
+      auto sub = rng.substream(n * 10 + m);
+      const auto app = graph::make_layered(2, n / 2, 0.5, sub);
+      auto instance = bench::mapped_instance(app, 2, s_max, 1.3);
+      const auto modes = bench::spread_modes(m, 0.5, s_max);
+
+      util::Timer timer;
+      const auto bb = core::solve_discrete_exact(instance, modes);
+      const double ms = timer.millis();
+
+      const double space = std::pow(static_cast<double>(m),
+                                    static_cast<double>(instance.exec_graph.num_nodes()));
+      std::string match = "n/a";
+      if (instance.exec_graph.num_nodes() <= 8) {
+        const auto oracle = core::solve_discrete_enumerate(instance, modes);
+        const bool same =
+            oracle.feasible == bb.solution.feasible &&
+            (!oracle.feasible ||
+             std::abs(oracle.energy - bb.solution.energy) <=
+                 1e-9 * (1.0 + oracle.energy));
+        match = same ? "yes" : "NO";
+      }
+      table.add_row(
+          {util::Table::fmt(instance.exec_graph.num_nodes()),
+           util::Table::fmt(m), util::Table::fmt(space, 0),
+           util::Table::fmt(bb.nodes_explored),
+           util::Table::fmt_pct(static_cast<double>(bb.nodes_explored) / space, 4),
+           util::Table::fmt(ms, 2), match});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: the assignment space m^n explodes; the "
+               "incumbent + bound pruning visits a vanishing fraction, yet "
+               "matches the oracle exactly.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E9 — solver scalability (the polynomial claims of Theorems 2-3 and the
+// exponential reality of Theorem 4), measured with google-benchmark.
+//
+// Complexity expectations: tree/SP solvers ~ O(n); the barrier solver is
+// polynomial with a dense O(n^3) Newton step; the Vdd LP is polynomial;
+// branch-and-bound grows exponentially with n.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace reclaim;
+
+void BM_TreeSolver(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(n);
+  const auto g = graph::make_random_out_tree(n, rng);
+  auto instance = core::make_instance(g, 1.3 * core::min_deadline(g, 2.0));
+  for (auto _ : state) {
+    auto s = core::solve_tree(instance, model::ContinuousModel{2.0});
+    benchmark::DoNotOptimize(s.energy);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TreeSolver)->Arg(50)->Arg(200)->Arg(800)->Complexity();
+
+void BM_SpSolver(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(n);
+  const auto g = graph::make_random_series_parallel(n, rng);
+  auto instance = core::make_instance(g, 2.0 * core::min_deadline(g, 2.0));
+  for (auto _ : state) {
+    auto s = core::solve_sp(instance);
+    benchmark::DoNotOptimize(s.energy);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpSolver)->Arg(50)->Arg(200)->Arg(800)->Complexity();
+
+void BM_NumericBarrier(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(n);
+  const auto g = graph::make_layered(n / 5, 5, 0.4, rng);
+  auto instance = core::make_instance(g, 1.4 * core::min_deadline(g, 2.0));
+  core::ContinuousOptions force;
+  force.force_numeric = true;
+  for (auto _ : state) {
+    auto s = core::solve_continuous(instance, model::ContinuousModel{2.0}, force);
+    benchmark::DoNotOptimize(s.energy);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NumericBarrier)->Arg(25)->Arg(50)->Arg(100)->Complexity();
+
+void BM_VddLp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(n);
+  const auto g = graph::make_layered(n / 5, 5, 0.4, rng);
+  auto instance = core::make_instance(g, 1.4 * core::min_deadline(g, 2.0));
+  const auto modes = bench::spread_modes(4, 0.5, 2.0);
+  for (auto _ : state) {
+    auto s = core::solve_vdd_lp(instance, model::VddHoppingModel{modes});
+    benchmark::DoNotOptimize(s.solution.energy);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VddLp)->Arg(15)->Arg(30)->Arg(60)->Complexity();
+
+void BM_DiscreteBb(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(n);
+  const auto g = graph::make_layered(2, n / 2, 0.5, rng);
+  auto instance = core::make_instance(g, 1.25 * core::min_deadline(g, 2.0));
+  const auto modes = bench::spread_modes(4, 0.5, 2.0);
+  for (auto _ : state) {
+    auto s = core::solve_discrete_exact(instance, modes);
+    benchmark::DoNotOptimize(s.solution.energy);
+    state.counters["bb_nodes"] =
+        static_cast<double>(s.nodes_explored);
+  }
+}
+BENCHMARK(BM_DiscreteBb)->Arg(8)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_SpDecompose(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(n);
+  const auto g = graph::make_random_series_parallel(n, rng);
+  for (auto _ : state) {
+    auto tree = graph::sp_decompose(g);
+    benchmark::DoNotOptimize(tree->root);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpDecompose)->Arg(100)->Arg(400)->Arg(1600)->Complexity();
+
+void BM_ListSchedule(benchmark::State& state) {
+  const auto tiles = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_tiled_cholesky(tiles);
+  for (auto _ : state) {
+    auto r = sched::list_schedule(g, 8, 1.0);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+}
+BENCHMARK(BM_ListSchedule)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== E9 solver scalability (Theorems 2-4) ===\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

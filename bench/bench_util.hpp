@@ -1,0 +1,37 @@
+// Shared helpers for the experiment harness (bench_e*).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "reclaim.hpp"
+
+namespace reclaim::bench {
+
+/// Standard experiment banner: what is being reproduced and from where.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "=== " << id << " ===\n" << claim << "\n";
+}
+
+/// List-schedules `app` on `processors` at the fastest admissible speed
+/// and returns the execution-graph instance with deadline slack * D_min.
+inline core::Instance mapped_instance(const graph::Digraph& app,
+                                      std::size_t processors, double s_max,
+                                      double slack, double alpha = 3.0) {
+  const auto schedule = sched::list_schedule(app, processors, s_max);
+  const auto exec = sched::build_execution_graph(app, schedule.mapping);
+  const double d_min = core::min_deadline(exec, s_max);
+  return core::make_instance(exec, slack * d_min, alpha);
+}
+
+/// Evenly spaced m modes covering [lo, hi].
+inline model::ModeSet spread_modes(std::size_t m, double lo, double hi) {
+  std::vector<double> speeds;
+  if (m == 1) return model::ModeSet({hi});
+  for (std::size_t i = 0; i < m; ++i)
+    speeds.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                              static_cast<double>(m - 1));
+  return model::ModeSet(speeds);
+}
+
+}  // namespace reclaim::bench

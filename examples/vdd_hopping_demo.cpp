@@ -1,0 +1,68 @@
+// Vdd-Hopping under the microscope: per-task speed profiles.
+//
+// Shows Theorem 3's LP output on a small diamond: which tasks hop between
+// modes, which sit on a single mode, and how the LP optimum compares to
+// (a) the Continuous lower bound and (b) the naive CONT-ROUND solution —
+// "Vdd-Hopping smooths out the discrete nature of the modes".
+//
+//   $ ./vdd_hopping_demo
+#include <iostream>
+
+#include "reclaim.hpp"
+
+int main() {
+  using namespace reclaim;
+
+  graph::Digraph app;
+  const auto src = app.add_node(2.0, "prepare");
+  const auto left = app.add_node(4.0, "simulate");
+  const auto right = app.add_node(1.0, "log");
+  const auto sink = app.add_node(2.0, "reduce");
+  app.add_edge(src, left);
+  app.add_edge(src, right);
+  app.add_edge(left, sink);
+  app.add_edge(right, sink);
+
+  const model::ModeSet modes({0.5, 1.0, 1.5});
+  const double deadline = 1.25 * core::min_deadline(app, modes.max_speed());
+  auto instance = core::make_instance(app, deadline);
+  std::cout << "Diamond graph, deadline " << util::Table::fmt(deadline, 3)
+            << ", modes {0.5, 1.0, 1.5}\n";
+
+  const auto cont =
+      core::solve_continuous(instance, model::ContinuousModel{modes.max_speed()});
+  const auto lp = core::solve_vdd_lp(instance, model::VddHoppingModel{modes});
+  const auto two = core::solve_vdd_two_mode(instance, model::VddHoppingModel{modes});
+  const auto round = core::solve_round_up(instance, modes);
+
+  util::Table profiles("Per-task execution under Vdd-Hopping (LP optimum)",
+                       {"task", "w", "continuous s*", "profile"});
+  for (graph::NodeId v = 0; v < app.num_nodes(); ++v) {
+    std::string profile;
+    for (const auto& seg : lp.solution.profiles[v].segments) {
+      if (!profile.empty()) profile += " + ";
+      profile += util::Table::fmt(seg.duration, 3) + "s @ " +
+                 util::Table::fmt(seg.speed, 2);
+    }
+    if (profile.empty()) profile = "-";
+    profiles.add_row({app.name(v), util::Table::fmt(app.weight(v), 1),
+                      util::Table::fmt(cont.speeds[v], 3), profile});
+  }
+  profiles.print(std::cout);
+
+  util::Table energies("Mode mixing pays off", {"policy", "energy", "vs Continuous"});
+  auto row = [&](const std::string& name, const core::Solution& s) {
+    energies.add_row({name, util::Table::fmt(s.energy, 4),
+                      util::Table::fmt_ratio(s.energy / cont.energy)});
+  };
+  row("Continuous (lower bound)", cont);
+  row("Vdd-Hopping LP (Thm 3)", lp.solution);
+  row("Two-mode heuristic", two);
+  row("Discrete CONT-ROUND", round.solution);
+  energies.print(std::cout);
+
+  std::cout << "\nThe LP mixes at most two adjacent modes per task; the "
+               "two-mode heuristic\nfreezes the continuous durations, which "
+               "is optimal on chains and near-optimal here.\n";
+  return 0;
+}

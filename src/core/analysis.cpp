@@ -1,0 +1,83 @@
+#include "core/analysis.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace reclaim::core {
+
+double energy_ratio(const Solution& a, const Solution& b) {
+  util::require(a.feasible && b.feasible,
+                "energy_ratio requires feasible solutions");
+  util::require(b.energy > 0.0, "energy_ratio requires positive reference energy");
+  return a.energy / b.energy;
+}
+
+ApproxCertificate certify_round_up(const Solution& rounded,
+                                   const Solution& relaxation,
+                                   const model::ModeSet& modes,
+                                   const model::PowerLaw& power,
+                                   double continuous_rel_gap) {
+  ApproxCertificate cert;
+  util::require(rounded.feasible && relaxation.feasible,
+                "certificate requires feasible solutions");
+  cert.measured = relaxation.energy > 0.0 ? rounded.energy / relaxation.energy : 1.0;
+  cert.certified =
+      std::pow(1.0 + modes.max_gap() / modes.min_speed(), power.alpha() - 1.0) *
+      std::pow(1.0 + continuous_rel_gap, power.alpha() - 1.0);
+  cert.holds = cert.measured <= cert.certified * (1.0 + 1e-9);
+  return cert;
+}
+
+double incremental_transfer_bound(double delta, double s_min,
+                                  const model::PowerLaw& power) {
+  util::require(delta > 0.0 && s_min > 0.0,
+                "transfer bound requires positive delta and s_min");
+  return std::pow(1.0 + delta / s_min, power.alpha() - 1.0);
+}
+
+double discrete_transfer_bound(const model::ModeSet& modes,
+                               const model::PowerLaw& power) {
+  return std::pow(1.0 + modes.max_gap() / modes.min_speed(),
+                  power.alpha() - 1.0);
+}
+
+double with_static_power(double dynamic_energy, double static_power,
+                         double deadline, std::size_t processors) {
+  util::require(static_power >= 0.0, "static power must be non-negative");
+  return dynamic_energy +
+         static_power * deadline * static_cast<double>(processors);
+}
+
+std::size_t total_speed_switches(const Solution& solution) {
+  std::size_t switches = 0;
+  for (const auto& profile : solution.profiles) {
+    if (profile.segments.size() > 1) switches += profile.segments.size() - 1;
+  }
+  return switches;
+}
+
+double energy_with_switch_cost(const Solution& solution,
+                               double cost_per_switch) {
+  util::require(solution.feasible,
+                "energy_with_switch_cost requires a feasible solution");
+  util::require(cost_per_switch >= 0.0, "switch cost must be non-negative");
+  return solution.energy +
+         cost_per_switch * static_cast<double>(total_speed_switches(solution));
+}
+
+double deadline_slack(const Instance& instance, const Solution& solution) {
+  util::require(solution.feasible, "deadline_slack requires a feasible solution");
+  std::vector<double> durations;
+  if (solution.uses_profiles()) {
+    durations.reserve(solution.profiles.size());
+    for (const auto& profile : solution.profiles)
+      durations.push_back(profile.total_duration());
+  } else {
+    durations = sched::durations_from_speeds(instance.exec_graph, solution.speeds);
+  }
+  const auto timing = sched::compute_timing(instance.exec_graph, durations);
+  return instance.deadline - timing.makespan;
+}
+
+}  // namespace reclaim::core

@@ -1,0 +1,67 @@
+// Cross-model analysis: ratios, approximation certificates, the
+// Proposition 1 transfer bounds, and the static-power extension.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "model/energy_model.hpp"
+#include "model/speed_set.hpp"
+
+namespace reclaim::core {
+
+/// energy(a) / energy(b); both must be feasible with positive energy(b).
+[[nodiscard]] double energy_ratio(const Solution& a, const Solution& b);
+
+/// A checked approximation guarantee: `measured` must stay below
+/// `certified` (within fp slack) for the theorem to hold on the instance.
+struct ApproxCertificate {
+  double measured = 0.0;   ///< E_heuristic / E_reference
+  double certified = 0.0;  ///< the theorem's bound
+  bool holds = false;
+};
+
+/// Theorem 5 / Proposition 1 certificate: rounded solution vs the
+/// restricted continuous relaxation under bound
+/// (1 + gap/s_1)^(alpha-1) * (1 + eps)^(alpha-1).
+[[nodiscard]] ApproxCertificate certify_round_up(const Solution& rounded,
+                                                 const Solution& relaxation,
+                                                 const model::ModeSet& modes,
+                                                 const model::PowerLaw& power,
+                                                 double continuous_rel_gap);
+
+/// Proposition 1 (first item): the Incremental model approximates the
+/// Continuous model within (1 + delta/s_min)^(alpha-1). Returns the bound.
+[[nodiscard]] double incremental_transfer_bound(double delta, double s_min,
+                                                const model::PowerLaw& power);
+
+/// Proposition 1 (second item): Discrete within (1 + gap/s_1)^(alpha-1) of
+/// Continuous, gap = max consecutive mode spacing.
+[[nodiscard]] double discrete_transfer_bound(const model::ModeSet& modes,
+                                             const model::PowerLaw& power);
+
+/// The paper ignores static power ("all processors are up and alive
+/// during the whole execution"): with a fixed deadline and processor
+/// count it adds the same constant to every model. This helper makes that
+/// explicit for the E10 ablation.
+[[nodiscard]] double with_static_power(double dynamic_energy, double static_power,
+                                       double deadline, std::size_t processors);
+
+/// Deadline slack of a solution: D - makespan (requires feasibility).
+[[nodiscard]] double deadline_slack(const Instance& instance,
+                                    const Solution& solution);
+
+/// Number of intra-task speed switches of a Vdd solution (segments - 1 per
+/// task, non-profile solutions count zero). The paper's Vdd model treats
+/// switching as free (following Miermont et al.); this makes the
+/// assumption measurable.
+[[nodiscard]] std::size_t total_speed_switches(const Solution& solution);
+
+/// Energy with a fixed per-switch cost added — a sensitivity knob for the
+/// free-switching assumption. Requires a feasible solution.
+[[nodiscard]] double energy_with_switch_cost(const Solution& solution,
+                                             double cost_per_switch);
+
+}  // namespace reclaim::core

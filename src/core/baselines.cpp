@@ -1,0 +1,101 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+#include "graph/topo.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::core {
+
+namespace {
+
+Solution constant_solution(const Instance& instance, double speed,
+                           std::string method) {
+  Solution s;
+  s.method = std::move(method);
+  s.feasible = true;
+  s.speeds.assign(instance.exec_graph.num_nodes(), 0.0);
+  s.energy = 0.0;
+  for (graph::NodeId v = 0; v < instance.exec_graph.num_nodes(); ++v) {
+    const double w = instance.exec_graph.weight(v);
+    if (w == 0.0) continue;
+    s.speeds[v] = speed;
+    s.energy += instance.power.task_energy(w, speed);
+  }
+  return s;
+}
+
+}  // namespace
+
+Solution solve_no_dvfs(const Instance& instance, const model::EnergyModel& model) {
+  const double top = model::max_speed(model);
+  const double required = critical_weight(instance.exec_graph);
+  if (required > 0.0 && required / top > instance.deadline * (1.0 + 1e-12))
+    return infeasible_solution("no-dvfs");
+  if (required == 0.0) return constant_solution(instance, 0.0, "no-dvfs");
+  return constant_solution(instance, top, "no-dvfs");
+}
+
+Solution solve_uniform(const Instance& instance, const model::EnergyModel& model) {
+  const double required = critical_weight(instance.exec_graph);
+  if (required == 0.0) return constant_solution(instance, 0.0, "uniform");
+  const double needed = required / instance.deadline;
+
+  if (std::holds_alternative<model::ContinuousModel>(model)) {
+    const double cap = model::max_speed(model);
+    if (needed > cap * (1.0 + 1e-12)) return infeasible_solution("uniform");
+    return constant_solution(instance, needed, "uniform");
+  }
+  const auto& modes = model::modes_of(model);
+  const auto index = modes.index_at_or_above(needed);
+  if (!index) return infeasible_solution("uniform");
+  return constant_solution(instance, modes.speed(*index), "uniform");
+}
+
+Solution solve_path_stretch(const Instance& instance,
+                            const model::EnergyModel& model) {
+  const auto& g = instance.exec_graph;
+  Solution s;
+  s.method = "path-stretch";
+  if (g.num_nodes() == 0) {
+    s.feasible = true;
+    s.energy = 0.0;
+    return s;
+  }
+
+  const double top = model::max_speed(model);
+  const double critical = critical_weight(g);
+  if (critical == 0.0) {
+    s = constant_solution(instance, 0.0, "path-stretch");
+    return s;
+  }
+  if (critical / instance.deadline > top * (1.0 + 1e-12))
+    return infeasible_solution(s.method);
+
+  const auto to = graph::longest_path_to(g);     // includes own weight
+  const auto from = graph::longest_path_from(g); // includes own weight
+  const bool continuous = std::holds_alternative<model::ContinuousModel>(model);
+
+  s.feasible = true;
+  s.speeds.assign(g.num_nodes(), 0.0);
+  s.energy = 0.0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double w = g.weight(v);
+    if (w == 0.0) continue;
+    const double through = to[v] + from[v] - w;  // heaviest path through v
+    double speed = through / instance.deadline;
+    if (!continuous) {
+      const auto& modes = model::modes_of(model);
+      const auto index = modes.index_at_or_above(speed);
+      if (!index) return infeasible_solution(s.method);
+      speed = modes.speed(*index);
+    } else {
+      speed = std::min(speed, top);
+    }
+    s.speeds[v] = speed;
+    s.energy += instance.power.task_energy(w, speed);
+  }
+  return s;
+}
+
+}  // namespace reclaim::core

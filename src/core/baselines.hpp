@@ -1,0 +1,32 @@
+// Baselines for the comparative study: what a system does when it does
+// not reclaim the schedule's energy.
+#pragma once
+
+#include "core/problem.hpp"
+#include "model/energy_model.hpp"
+
+namespace reclaim::core {
+
+/// NO-DVFS: every task at the model's fastest speed (how the mapping was
+/// presumably timed in the first place). Feasible iff the deadline is at
+/// all achievable; maximal energy.
+[[nodiscard]] Solution solve_no_dvfs(const Instance& instance,
+                                     const model::EnergyModel& model);
+
+/// UNIFORM: one global speed, the smallest admissible speed whose uniform
+/// schedule meets D (critical weight / D, rounded up to a mode for
+/// mode-based models). What a whole-platform governor would do.
+[[nodiscard]] Solution solve_uniform(const Instance& instance,
+                                     const model::EnergyModel& model);
+
+/// PATH-STRETCH: the classical slack-reclamation heuristic. Task i runs at
+/// s_i = L_i / D where L_i is the heaviest execution-graph path *through*
+/// i. Feasible because every path P satisfies, for each i in P,
+/// L_i >= w(P), hence sum_{i in P} w_i D / L_i <= D; and since
+/// L_i <= critical weight, s_i never exceeds the UNIFORM speed:
+/// E_Continuous <= E_PATH-STRETCH <= E_UNIFORM. Speeds are rounded up to
+/// modes for mode-based models.
+[[nodiscard]] Solution solve_path_stretch(const Instance& instance,
+                                          const model::EnergyModel& model);
+
+}  // namespace reclaim::core

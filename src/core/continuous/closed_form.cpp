@@ -1,0 +1,115 @@
+#include "core/continuous/closed_form.hpp"
+
+#include <cmath>
+
+#include "graph/classify.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::core {
+
+using util::require;
+
+namespace {
+
+Solution constant_speed_solution(const Instance& instance, double speed,
+                                 std::string method) {
+  Solution s;
+  s.method = std::move(method);
+  s.feasible = true;
+  s.speeds.assign(instance.exec_graph.num_nodes(), 0.0);
+  s.energy = 0.0;
+  for (graph::NodeId v = 0; v < instance.exec_graph.num_nodes(); ++v) {
+    const double w = instance.exec_graph.weight(v);
+    if (w == 0.0) continue;
+    s.speeds[v] = speed;
+    s.energy += instance.power.task_energy(w, speed);
+  }
+  return s;
+}
+
+}  // namespace
+
+Solution solve_single(const Instance& instance, const model::ContinuousModel& model) {
+  require(instance.exec_graph.num_nodes() == 1, "solve_single requires one task");
+  const double w = instance.exec_graph.weight(0);
+  const double speed = w / instance.deadline;
+  if (speed > model.s_max) return infeasible_solution("closed-form-single");
+  return constant_speed_solution(instance, speed, "closed-form-single");
+}
+
+Solution solve_chain(const Instance& instance, const model::ContinuousModel& model) {
+  const auto& g = instance.exec_graph;
+  require(g.num_nodes() == 1 || graph::is_chain(g),
+          "solve_chain requires a chain graph");
+  const double speed = g.total_weight() / instance.deadline;
+  if (speed > model.s_max) return infeasible_solution("closed-form-chain");
+  return constant_speed_solution(instance, speed, "closed-form-chain");
+}
+
+Solution solve_fork(const Instance& instance, const model::ContinuousModel& model) {
+  const auto& g = instance.exec_graph;
+  require(graph::is_fork(g), "solve_fork requires a fork graph");
+  const graph::NodeId root = g.sources().front();
+  const double alpha = instance.power.alpha();
+  const double d = instance.deadline;
+  const double w0 = g.weight(root);
+
+  // l = (sum of leaf weights^alpha)^(1/alpha) — the parallel equivalent
+  // weight of the leaves.
+  double sum_pow = 0.0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == root) continue;
+    sum_pow += std::pow(g.weight(v), alpha);
+  }
+  const double l = sum_pow > 0.0 ? std::pow(sum_pow, 1.0 / alpha) : 0.0;
+
+  Solution s;
+  s.method = "closed-form-fork";
+  s.speeds.assign(g.num_nodes(), 0.0);
+
+  const double s0_unconstrained = (l + w0) / d;
+  double s0;
+  double leaf_window;  // window the leaves share
+  if (s0_unconstrained <= model.s_max) {
+    s0 = s0_unconstrained;
+    // Unsaturated: leaves run at s0 * w_i / l, i.e. in a shared window of
+    // length l / s0.
+    leaf_window = l > 0.0 ? l / s0 : 0.0;
+  } else {
+    // Theorem 1's saturated branch: the source is pinned at s_max.
+    s0 = model.s_max;
+    leaf_window = d - w0 / model.s_max;
+    if (l > 0.0 && leaf_window <= 0.0) return infeasible_solution(s.method);
+  }
+
+  s.energy = 0.0;
+  if (w0 > 0.0) {
+    if (s0 > model.s_max * (1.0 + 1e-12)) return infeasible_solution(s.method);
+    s.speeds[root] = s0;
+    s.energy += instance.power.task_energy(w0, s0);
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == root) continue;
+    const double w = g.weight(v);
+    if (w == 0.0) continue;
+    const double sv = w / leaf_window;
+    if (sv > model.s_max * (1.0 + 1e-12)) return infeasible_solution(s.method);
+    s.speeds[v] = sv;
+    s.energy += instance.power.task_energy(w, sv);
+  }
+  s.feasible = true;
+  return s;
+}
+
+Solution solve_join(const Instance& instance, const model::ContinuousModel& model) {
+  require(graph::is_join(instance.exec_graph), "solve_join requires a join graph");
+  // Equation (1) is symmetric under time reversal, so the join optimum is
+  // the fork optimum of the reversed graph with identical speeds.
+  Instance reversed{instance.exec_graph.reversed(), instance.deadline,
+                    instance.power};
+  Solution s = solve_fork(reversed, model);
+  s.method = "closed-form-join";
+  return s;
+}
+
+}  // namespace reclaim::core

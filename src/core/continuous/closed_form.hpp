@@ -1,0 +1,36 @@
+// Closed-form Continuous solutions (Theorem 1 and its elementary
+// companions).
+//
+// - Single task: s = w / D.
+// - Chain: one common speed sum(w) / D (the equal-speed exchange argument).
+// - Fork T0 -> {T1..Tn} (Theorem 1, generalized to exponent alpha):
+//     l = (sum w_i^alpha)^(1/alpha),  s_0 = (l + w_0) / D,
+//     s_i = s_0 * w_i / l,
+//   and when s_0 would exceed s_max: s_0 = s_max, the leaves share
+//   D' = D - w_0/s_max with s_i = w_i / D' (infeasible when any exceeds
+//   s_max — the paper's saturated branch).
+// - Join: the time-reversed fork; identical speeds by symmetry of Eq. (1).
+#pragma once
+
+#include "core/problem.hpp"
+#include "model/energy_model.hpp"
+
+namespace reclaim::core {
+
+/// Requires a single-node graph.
+[[nodiscard]] Solution solve_single(const Instance& instance,
+                                    const model::ContinuousModel& model);
+
+/// Requires a chain (>= 1 node path).
+[[nodiscard]] Solution solve_chain(const Instance& instance,
+                                   const model::ContinuousModel& model);
+
+/// Requires a fork-shaped graph (graph::is_fork).
+[[nodiscard]] Solution solve_fork(const Instance& instance,
+                                  const model::ContinuousModel& model);
+
+/// Requires a join-shaped graph (graph::is_join).
+[[nodiscard]] Solution solve_join(const Instance& instance,
+                                  const model::ContinuousModel& model);
+
+}  // namespace reclaim::core

@@ -1,0 +1,83 @@
+#include "core/continuous/dispatch.hpp"
+
+#include <algorithm>
+
+#include "core/continuous/closed_form.hpp"
+#include "core/continuous/numeric_solver.hpp"
+#include "core/continuous/sp_solver.hpp"
+#include "core/continuous/tree_solver.hpp"
+#include "graph/classify.hpp"
+#include "graph/sp_tree.hpp"
+
+namespace reclaim::core {
+
+namespace {
+
+/// True when every positive-weight task runs at least at `floor`.
+bool respects_floor(const Instance& instance, const Solution& s, double floor) {
+  if (floor <= 0.0) return true;
+  for (graph::NodeId v = 0; v < instance.exec_graph.num_nodes(); ++v) {
+    if (instance.exec_graph.weight(v) == 0.0) continue;
+    if (s.speeds[v] < floor * (1.0 - 1e-12)) return false;
+  }
+  return true;
+}
+
+Solution numeric(const Instance& instance, const model::ContinuousModel& model,
+                 const ContinuousOptions& options) {
+  NumericOptions numeric_options;
+  numeric_options.rel_gap = options.rel_gap;
+  numeric_options.s_min = options.s_min;
+  return solve_numeric(instance, model, numeric_options);
+}
+
+}  // namespace
+
+Solution solve_continuous(const Instance& instance,
+                          const model::ContinuousModel& model,
+                          const ContinuousOptions& options) {
+  const auto& g = instance.exec_graph;
+  if (options.force_numeric) return numeric(instance, model, options);
+
+  Solution s;
+  bool solved = false;
+
+  if (g.num_nodes() == 0) {
+    s.feasible = true;
+    s.energy = 0.0;
+    s.method = "trivial-empty";
+    return s;
+  }
+  if (g.num_nodes() == 1) {
+    s = solve_single(instance, model);
+    solved = true;
+  } else if (graph::is_chain(g)) {
+    s = solve_chain(instance, model);
+    solved = true;
+  } else if (graph::is_fork(g)) {
+    s = solve_fork(instance, model);
+    solved = true;
+  } else if (graph::is_join(g)) {
+    s = solve_join(instance, model);
+    solved = true;
+  } else if (graph::is_out_tree(g) || graph::is_in_tree(g)) {
+    s = solve_tree(instance, model);
+    solved = true;
+  } else if (const auto tree = graph::sp_decompose(g)) {
+    // The SP algebra assumes s_max = +inf (Theorem 2); accept its answer
+    // only when the unconstrained optimum happens to respect the cap.
+    s = solve_sp(instance, *tree);
+    const double top =
+        s.speeds.empty() ? 0.0
+                         : *std::max_element(s.speeds.begin(), s.speeds.end());
+    solved = s.feasible && top <= model.s_max * (1.0 + 1e-12);
+  }
+
+  if (solved && s.feasible && !respects_floor(instance, s, options.s_min)) {
+    solved = false;  // Theorem 5's restricted relaxation needs the floor
+  }
+  if (!solved) return numeric(instance, model, options);
+  return s;
+}
+
+}  // namespace reclaim::core

@@ -1,0 +1,29 @@
+// Continuous-model front door: picks the strongest applicable solver.
+//
+//   chain/fork/join  -> closed forms (Theorem 1)
+//   out-/in-tree     -> tree solver (Theorem 2, finite s_max)
+//   series-parallel  -> SP algebra (Theorem 2) when the unconstrained
+//                       optimum respects s_max, else the numeric solver
+//   anything else    -> numeric barrier solver (geometric program)
+//
+// An optional speed floor s_min (used by Theorem 5's rounding) routes to
+// the numeric solver whenever the unrestricted optimum violates it.
+#pragma once
+
+#include "core/problem.hpp"
+#include "model/energy_model.hpp"
+
+namespace reclaim::core {
+
+struct ContinuousOptions {
+  double s_min = 0.0;      ///< optional speed floor (Theorem 5 relaxation)
+  double rel_gap = 1e-9;   ///< numeric-solver duality gap
+  bool force_numeric = false;  ///< bypass closed forms (for cross-checks)
+};
+
+/// Solves the Continuous MinEnergy instance.
+[[nodiscard]] Solution solve_continuous(const Instance& instance,
+                                        const model::ContinuousModel& model,
+                                        const ContinuousOptions& options = {});
+
+}  // namespace reclaim::core

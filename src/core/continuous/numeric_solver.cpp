@@ -1,0 +1,246 @@
+#include "core/continuous/numeric_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/topo.hpp"
+#include "opt/barrier.hpp"
+#include "sched/schedule.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// sum w_i^alpha / d_i^(alpha-1) over positive-weight tasks; the duration
+/// of task i lives at variable index n + i.
+class EnergyObjective final : public opt::ConvexObjective {
+ public:
+  EnergyObjective(const graph::Digraph& g, const model::PowerLaw& power)
+      : n_(g.num_nodes()), alpha_(power.alpha()) {
+    weights_.reserve(n_);
+    for (graph::NodeId v = 0; v < n_; ++v) weights_.push_back(g.weight(v));
+  }
+
+  [[nodiscard]] double value(const la::Vector& x) const override {
+    double e = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double w = weights_[i];
+      if (w == 0.0) continue;
+      const double d = x[n_ + i];
+      if (d <= 0.0) return kInf;
+      e += std::pow(w, alpha_) / std::pow(d, alpha_ - 1.0);
+    }
+    return e;
+  }
+
+  void add_gradient(const la::Vector& x, la::Vector& grad) const override {
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double w = weights_[i];
+      if (w == 0.0) continue;
+      const double d = x[n_ + i];
+      grad[n_ + i] += -(alpha_ - 1.0) * std::pow(w, alpha_) / std::pow(d, alpha_);
+    }
+  }
+
+  void add_hessian(const la::Vector& x, la::Matrix& hess) const override {
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double w = weights_[i];
+      if (w == 0.0) continue;
+      const double d = x[n_ + i];
+      hess(n_ + i, n_ + i) +=
+          alpha_ * (alpha_ - 1.0) * std::pow(w, alpha_) / std::pow(d, alpha_ + 1.0);
+    }
+  }
+
+ private:
+  std::size_t n_;
+  double alpha_;
+  std::vector<double> weights_;
+};
+
+Solution speeds_solution(const Instance& instance,
+                         const std::vector<double>& speeds, std::string method) {
+  Solution s;
+  s.method = std::move(method);
+  s.feasible = true;
+  s.speeds.assign(instance.exec_graph.num_nodes(), 0.0);
+  s.energy = 0.0;
+  for (graph::NodeId v = 0; v < instance.exec_graph.num_nodes(); ++v) {
+    const double w = instance.exec_graph.weight(v);
+    if (w == 0.0) continue;
+    s.speeds[v] = speeds[v];
+    s.energy += instance.power.task_energy(w, speeds[v]);
+  }
+  return s;
+}
+
+}  // namespace
+
+Solution solve_numeric(const Instance& instance,
+                       const model::ContinuousModel& model,
+                       const NumericOptions& options) {
+  const auto& g = instance.exec_graph;
+  const std::size_t n = g.num_nodes();
+  const double deadline = instance.deadline;
+  const double s_min = options.s_min;
+  const bool heterogeneous = !options.s_max_per_task.empty();
+  const std::string method = "numeric-barrier";
+
+  util::require(s_min >= 0.0 && s_min <= model.s_max, "invalid speed range");
+  if (heterogeneous) {
+    util::require(options.s_max_per_task.size() == n,
+                  "one per-task cap per task required");
+    util::require(s_min == 0.0,
+                  "per-task caps cannot be combined with a speed floor");
+    for (double c : options.s_max_per_task)
+      util::require(c > 0.0, "per-task caps must be positive");
+  }
+  const auto cap = [&](graph::NodeId v) {
+    return heterogeneous ? std::min(model.s_max, options.s_max_per_task[v])
+                         : model.s_max;
+  };
+
+  if (n == 0) {
+    Solution s;
+    s.method = method;
+    s.feasible = true;
+    s.energy = 0.0;
+    return s;
+  }
+
+  const double critical = critical_weight(g);
+  if (critical == 0.0) {
+    // All-zero weights: nothing to run.
+    return speeds_solution(instance, std::vector<double>(n, 0.0), method);
+  }
+
+  // Feasibility: the fastest schedule runs every task at its cap.
+  std::vector<double> min_durations(n, 0.0);
+  bool any_uncapped_weighted = false;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const double w = g.weight(v);
+    if (w == 0.0) continue;
+    if (cap(v) == kInf) {
+      any_uncapped_weighted = true;
+    } else {
+      min_durations[v] = w / cap(v);
+    }
+  }
+  const double min_makespan =
+      sched::compute_timing(g, min_durations).makespan;
+  if (min_makespan > deadline * (1.0 + 1e-12))
+    return infeasible_solution(method);
+  if (min_makespan >= deadline * (1.0 - 1e-9)) {
+    // Boundary: the only candidate pins every task at its cap. With an
+    // uncapped weighted task the optimum does not exist (speeds diverge).
+    if (any_uncapped_weighted) return infeasible_solution(method);
+    std::vector<double> speeds(n, 0.0);
+    for (graph::NodeId v = 0; v < n; ++v) speeds[v] = cap(v);
+    return speeds_solution(instance, speeds, method);
+  }
+
+  // Strictly feasible start point.
+  la::Vector x0(2 * n, 0.0);
+  std::vector<double> durations(n, 0.0);
+  double pad = 0.0;
+  if (!heterogeneous) {
+    // Uniform speed strictly between the minimal feasible uniform speed
+    // and the cap.
+    const double lower = std::max(critical / deadline, s_min);
+    const double upper = model.s_max;
+    if (lower >= upper * (1.0 - 1e-12)) {
+      // The speed range collapses to (almost) a single point.
+      return speeds_solution(instance, std::vector<double>(n, upper), method);
+    }
+    const double s_start = upper == kInf ? 1.4 * lower : std::sqrt(lower * upper);
+    const double target_makespan = critical / s_start;
+    pad = (deadline - target_makespan) / (8.0 * static_cast<double>(n + 1));
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const double w = g.weight(v);
+      durations[v] = w > 0.0 ? w / s_start : pad * 0.5;
+    }
+  } else {
+    // Per-task caps: stretch the all-at-cap durations a little and slow
+    // everything to a uniform speed chosen so the makespan keeps a margin:
+    //   d_v = max(w_v/s_start, (1+theta) w_v/cap_v)
+    // has makespan <= critical/s_start + (1+theta) min_makespan < D.
+    const double theta =
+        min_makespan > 0.0
+            ? std::min(0.01, 0.25 * (deadline / min_makespan - 1.0))
+            : 0.01;
+    const double margin = deadline - (1.0 + theta) * min_makespan;
+    const double s_start = critical / (0.5 * margin);
+    pad = margin / (16.0 * static_cast<double>(n + 1));
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const double w = g.weight(v);
+      durations[v] = w > 0.0
+                         ? std::max(w / s_start, (1.0 + theta) * min_durations[v])
+                         : pad * 0.5;
+    }
+  }
+
+  // Variables: x[0..n) completion times, x[n..2n) durations.
+  const auto order = graph::topological_order(g);
+  util::require(order.has_value(), "numeric solver requires a DAG");
+  {
+    std::vector<double> earliest(n, 0.0);
+    std::size_t position = 0;
+    for (graph::NodeId v : *order) {
+      double start = 0.0;
+      for (graph::NodeId p : g.predecessors(v)) start = std::max(start, earliest[p]);
+      earliest[v] = start + durations[v];
+      x0[v] = earliest[v] + pad * static_cast<double>(position + 1);
+      x0[n + v] = durations[v];
+      ++position;
+    }
+  }
+
+  // Constraint assembly (all as terms . x <= rhs).
+  std::vector<opt::SparseInequality> ineqs;
+  ineqs.reserve(g.num_edges() + 3 * n);
+  for (const graph::Edge& e : g.edges()) {
+    // t_i + d_j - t_j <= 0.
+    ineqs.push_back({{{e.from, 1.0}, {n + e.to, 1.0}, {e.to, -1.0}}, 0.0});
+  }
+  for (graph::NodeId v = 0; v < n; ++v) {
+    // d_v - t_v <= 0 (start time >= 0).
+    ineqs.push_back({{{n + v, 1.0}, {v, -1.0}}, 0.0});
+    // t_v <= D.
+    ineqs.push_back({{{v, 1.0}}, deadline});
+    // -d_v <= -w_v / cap_v  (speed cap; reduces to d_v >= 0 when uncapped).
+    ineqs.push_back({{{n + v, -1.0}}, -min_durations[v]});
+    // d_v <= w_v / s_min (speed floor, Theorem 5's restricted relaxation).
+    const double w = g.weight(v);
+    if (w > 0.0 && s_min > 0.0) {
+      ineqs.push_back({{{n + v, 1.0}}, w / s_min});
+    }
+  }
+
+  const EnergyObjective objective(g, instance.power);
+  opt::BarrierOptions barrier_options;
+  barrier_options.rel_gap = options.rel_gap;
+  const opt::BarrierResult result =
+      opt::minimize_with_barrier(objective, ineqs, std::move(x0), barrier_options);
+
+  Solution s;
+  s.method = method;
+  s.feasible = true;
+  s.iterations = result.newton_steps;
+  s.speeds.assign(n, 0.0);
+  s.energy = 0.0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const double w = g.weight(v);
+    if (w == 0.0) continue;
+    double speed = w / result.x[n + v];
+    speed = std::min(speed, cap(v));  // shave barrier slack off the cap
+    s.speeds[v] = speed;
+    s.energy += instance.power.task_energy(w, speed);
+  }
+  return s;
+}
+
+}  // namespace reclaim::core

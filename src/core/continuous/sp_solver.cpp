@@ -1,0 +1,97 @@
+#include "core/continuous/sp_solver.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "util/error.hpp"
+
+namespace reclaim::core {
+
+namespace {
+
+/// Bottom-up equivalent weights for every SpTree node.
+std::vector<double> equivalent_weights(const graph::Digraph& g,
+                                       const graph::SpTree& tree,
+                                       const model::PowerLaw& power) {
+  const double alpha = power.alpha();
+  std::vector<double> weq(tree.nodes.size(), 0.0);
+  // Children always have larger arena indices... not guaranteed; recurse.
+  std::function<double(std::size_t)> fold = [&](std::size_t id) -> double {
+    const auto& node = tree.nodes[id];
+    double w = 0.0;
+    switch (node.kind) {
+      case graph::SpKind::kLeaf:
+        w = node.task == graph::kNoNode ? 0.0 : g.weight(node.task);
+        break;
+      case graph::SpKind::kSeries:
+        for (std::size_t c : node.children) w += fold(c);
+        break;
+      case graph::SpKind::kParallel: {
+        double sum_pow = 0.0;
+        for (std::size_t c : node.children) sum_pow += std::pow(fold(c), alpha);
+        w = sum_pow > 0.0 ? std::pow(sum_pow, 1.0 / alpha) : 0.0;
+        break;
+      }
+    }
+    weq[id] = w;
+    return w;
+  };
+  fold(tree.root);
+  return weq;
+}
+
+}  // namespace
+
+double sp_equivalent_weight(const graph::Digraph& g, const graph::SpTree& tree,
+                            const model::PowerLaw& power) {
+  return equivalent_weights(g, tree, power)[tree.root];
+}
+
+Solution solve_sp(const Instance& instance, const graph::SpTree& tree) {
+  const auto& g = instance.exec_graph;
+  const auto weq = equivalent_weights(g, tree, instance.power);
+
+  Solution s;
+  s.method = "series-parallel";
+  s.feasible = true;
+  s.speeds.assign(g.num_nodes(), 0.0);
+  s.energy = 0.0;
+
+  // Top-down window assignment.
+  std::function<void(std::size_t, double)> assign = [&](std::size_t id,
+                                                        double window) {
+    const auto& node = tree.nodes[id];
+    switch (node.kind) {
+      case graph::SpKind::kLeaf: {
+        if (node.task == graph::kNoNode) return;
+        const double w = g.weight(node.task);
+        if (w == 0.0) return;
+        util::require_numeric(window > 0.0,
+                              "sp solver: zero window for a weighted task");
+        s.speeds[node.task] = w / window;
+        s.energy += instance.power.task_energy(w, s.speeds[node.task]);
+        return;
+      }
+      case graph::SpKind::kSeries: {
+        if (weq[id] == 0.0) return;  // all-zero subtree: nothing to run
+        for (std::size_t c : node.children)
+          assign(c, window * weq[c] / weq[id]);
+        return;
+      }
+      case graph::SpKind::kParallel: {
+        for (std::size_t c : node.children) assign(c, window);
+        return;
+      }
+    }
+  };
+  assign(tree.root, instance.deadline);
+  return s;
+}
+
+Solution solve_sp(const Instance& instance) {
+  const auto tree = graph::sp_decompose(instance.exec_graph);
+  util::require(tree.has_value(), "solve_sp: graph is not series-parallel");
+  return solve_sp(instance, *tree);
+}
+
+}  // namespace reclaim::core

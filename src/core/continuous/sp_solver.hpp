@@ -1,0 +1,35 @@
+// Series-parallel Continuous solver (Theorem 2, s_max = +infinity).
+//
+// The equivalent-weight algebra: executing weight w in a window of length
+// d at constant speed costs w^alpha / d^(alpha-1). A series composition
+// behaves like one task of weight sum(w_k) (the equal-speed argument); a
+// parallel composition like one task of weight (sum w_k^alpha)^(1/alpha).
+// Folding the SP decomposition tree bottom-up yields the equivalent weight
+// W_eq of the whole graph — the optimum is E = W_eq^alpha / D^(alpha-1) —
+// and unfolding top-down splits the deadline window into per-task speeds:
+// series children get window shares proportional to their equivalent
+// weights, parallel children inherit the full window. These are the
+// paper's "nested cube roots" for alpha = 3.
+#pragma once
+
+#include "core/problem.hpp"
+#include "graph/sp_tree.hpp"
+
+namespace reclaim::core {
+
+/// Equivalent weight of the whole decomposition tree.
+[[nodiscard]] double sp_equivalent_weight(const graph::Digraph& g,
+                                          const graph::SpTree& tree,
+                                          const model::PowerLaw& power);
+
+/// Unconstrained (s_max = +inf) optimum over the SP decomposition `tree`
+/// of the instance's graph. Always feasible. When a finite speed cap must
+/// be honoured, check the returned speeds and fall back to the numeric
+/// solver (see dispatch.hpp).
+[[nodiscard]] Solution solve_sp(const Instance& instance, const graph::SpTree& tree);
+
+/// Convenience overload: decomposes the instance's graph first; throws
+/// InvalidArgument when it is not series-parallel.
+[[nodiscard]] Solution solve_sp(const Instance& instance);
+
+}  // namespace reclaim::core

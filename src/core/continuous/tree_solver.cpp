@@ -1,0 +1,76 @@
+#include "core/continuous/tree_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/classify.hpp"
+#include "graph/topo.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::core {
+
+namespace {
+
+Solution solve_out_tree(const Instance& instance,
+                        const model::ContinuousModel& model) {
+  const auto& g = instance.exec_graph;
+  const double alpha = instance.power.alpha();
+  const auto order = graph::topological_order(g);
+  util::require(order.has_value(), "tree solver requires a DAG");
+
+  // Bottom-up equivalent weights: weq(v) = w_v + l_alpha(children weqs).
+  std::vector<double> weq(g.num_nodes(), 0.0);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const graph::NodeId v = *it;
+    double sum_pow = 0.0;
+    for (graph::NodeId c : g.successors(v)) sum_pow += std::pow(weq[c], alpha);
+    const double children = sum_pow > 0.0 ? std::pow(sum_pow, 1.0 / alpha) : 0.0;
+    weq[v] = g.weight(v) + children;
+  }
+
+  Solution s;
+  s.method = "tree";
+  s.speeds.assign(g.num_nodes(), 0.0);
+  s.energy = 0.0;
+
+  // Top-down windows; root window is the full deadline.
+  std::vector<double> window(g.num_nodes(), 0.0);
+  for (const graph::NodeId root : g.sources()) window[root] = instance.deadline;
+
+  constexpr double kTol = 1e-12;
+  for (const graph::NodeId v : *order) {
+    if (weq[v] == 0.0) continue;  // nothing left to run below v
+    if (window[v] <= 0.0) return infeasible_solution(s.method);
+
+    const double speed = std::min(weq[v] / window[v], model.s_max);
+    const double w = g.weight(v);
+    double duration = 0.0;
+    if (w > 0.0) {
+      duration = w / speed;
+      if (duration > window[v] * (1.0 + kTol)) return infeasible_solution(s.method);
+      s.speeds[v] = speed;
+      s.energy += instance.power.task_energy(w, speed);
+    }
+    const double remaining = window[v] - duration;
+    for (graph::NodeId c : g.successors(v)) window[c] = remaining;
+  }
+  s.feasible = true;
+  return s;
+}
+
+}  // namespace
+
+Solution solve_tree(const Instance& instance, const model::ContinuousModel& model) {
+  const auto& g = instance.exec_graph;
+  if (g.num_nodes() == 1 || graph::is_out_tree(g)) {
+    return solve_out_tree(instance, model);
+  }
+  util::require(graph::is_in_tree(g),
+                "solve_tree requires an out-tree or in-tree");
+  Instance reversed{g.reversed(), instance.deadline, instance.power};
+  Solution s = solve_out_tree(reversed, model);
+  s.method = "tree";
+  return s;
+}
+
+}  // namespace reclaim::core

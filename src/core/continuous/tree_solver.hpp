@@ -1,0 +1,27 @@
+// Tree Continuous solver with a finite speed cap (Theorem 2).
+//
+// For an out-tree, the unconstrained optimum assigns every node the speed
+// weq(subtree)/window, and speeds are non-increasing from the root down
+// (a child's share weq(child)/l_alpha(children) never exceeds 1). The cap
+// s_max therefore binds along a prefix of the tree: the generalization of
+// Theorem 1's saturated fork branch is the per-node rule
+//
+//     s_v = min(weq(v) / window_v, s_max),   window_child = window_v - w_v/s_v,
+//
+// applied top-down, which is optimal by the same convexity argument (the
+// energy of the subtree is convex in the root's duration, so pinning the
+// root at its bound is exact). Runs in O(n). In-trees solve on the
+// reversed graph (Eq. (1) is symmetric under time reversal).
+#pragma once
+
+#include "core/problem.hpp"
+#include "model/energy_model.hpp"
+
+namespace reclaim::core {
+
+/// Requires an out-tree or in-tree execution graph (graph::is_out_tree /
+/// is_in_tree); handles finite s_max including infeasibility detection.
+[[nodiscard]] Solution solve_tree(const Instance& instance,
+                                  const model::ContinuousModel& model);
+
+}  // namespace reclaim::core

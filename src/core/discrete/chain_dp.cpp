@@ -1,0 +1,91 @@
+#include "core/discrete/chain_dp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/classify.hpp"
+#include "graph/topo.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+ChainDpResult solve_chain_dp(const Instance& instance,
+                             const model::ModeSet& modes,
+                             const ChainDpOptions& options) {
+  const auto& g = instance.exec_graph;
+  util::require(g.num_nodes() == 1 || graph::is_chain(g),
+                "chain DP requires a chain execution graph");
+  util::require(options.resolution >= 1, "resolution must be >= 1");
+
+  const auto order = graph::topological_order(g);
+  const std::size_t n = g.num_nodes();
+  const std::size_t m = modes.size();
+  const std::size_t cells = n * options.resolution;
+  const double delta = instance.deadline / static_cast<double>(cells);
+
+  ChainDpResult result;
+  result.grid_cells = cells;
+  result.solution.method = "chain-dp";
+
+  // Grid cost of running task weight w at mode j, rounded up.
+  const auto grid_cost = [&](double w, std::size_t j) -> std::size_t {
+    if (w == 0.0) return 0;
+    const double duration = w / modes.speed(j);
+    return static_cast<std::size_t>(std::ceil(duration / delta - 1e-12));
+  };
+
+  // dp[k][r]: min energy of the first k tasks within r grid cells.
+  std::vector<std::vector<double>> dp(n + 1,
+                                      std::vector<double>(cells + 1, kInf));
+  std::vector<std::vector<std::size_t>> pick(
+      n, std::vector<std::size_t>(cells + 1, m));
+  for (std::size_t r = 0; r <= cells; ++r) dp[0][r] = 0.0;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const graph::NodeId v = (*order)[k];
+    const double w = g.weight(v);
+    const std::size_t mode_count = w == 0.0 ? 1 : m;
+    for (std::size_t j = 0; j < mode_count; ++j) {
+      const std::size_t cost = grid_cost(w, j);
+      const double energy =
+          w == 0.0 ? 0.0 : instance.power.task_energy(w, modes.speed(j));
+      if (cost > cells) continue;
+      for (std::size_t r = cost; r <= cells; ++r) {
+        const double candidate = dp[k][r - cost] + energy;
+        if (candidate < dp[k + 1][r]) {
+          dp[k + 1][r] = candidate;
+          pick[k][r] = j;
+        }
+      }
+    }
+  }
+
+  if (dp[n][cells] == kInf) return result;  // infeasible on this grid
+
+  auto& s = result.solution;
+  s.feasible = true;
+  s.energy = dp[n][cells];
+  s.speeds.assign(n, 0.0);
+  s.iterations = n * (cells + 1);
+  std::size_t budget = cells;
+  for (std::size_t k = n; k-- > 0;) {
+    const graph::NodeId v = (*order)[k];
+    const std::size_t j = pick[k][budget];
+    util::require_numeric(j < m || g.weight(v) == 0.0,
+                          "chain DP reconstruction failed (bug)");
+    if (g.weight(v) > 0.0) {
+      s.speeds[v] = modes.speed(j);
+      budget -= grid_cost(g.weight(v), j);
+    } else {
+      budget -= 0;
+    }
+  }
+  return result;
+}
+
+}  // namespace reclaim::core

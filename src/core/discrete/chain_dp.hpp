@@ -1,0 +1,33 @@
+// Pseudo-polynomial dynamic program for Discrete MinEnergy on chains.
+//
+// Theorem 4's NP-completeness is weak (the companion report reduces from
+// a partition-style problem): on a single chain the problem is a
+// multiple-choice knapsack, solvable exactly over a time grid. With grid
+// resolution Delta = D / (n K):
+//   - durations are rounded *up* to grid cells, so every DP solution is
+//     feasible for the true deadline D;
+//   - any solution of the tightened instance with deadline D(1 - 1/K)
+//     survives the rounding, hence E_DP <= OPT(D * (1 - 1/K)).
+// Larger K tightens the approximation at O(n^2 K m) time.
+#pragma once
+
+#include "core/problem.hpp"
+#include "model/energy_model.hpp"
+
+namespace reclaim::core {
+
+struct ChainDpOptions {
+  std::size_t resolution = 64;  ///< K: grid cells per task on average
+};
+
+struct ChainDpResult {
+  Solution solution;
+  std::size_t grid_cells = 0;   ///< total DP columns (n K)
+};
+
+/// Requires a chain (or single-task) execution graph.
+[[nodiscard]] ChainDpResult solve_chain_dp(const Instance& instance,
+                                           const model::ModeSet& modes,
+                                           const ChainDpOptions& options = {});
+
+}  // namespace reclaim::core

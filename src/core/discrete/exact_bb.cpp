@@ -1,0 +1,197 @@
+#include "core/discrete/exact_bb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/discrete/round_up.hpp"
+#include "graph/topo.hpp"
+#include "sched/schedule.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kDeadlineTol = 1.0 + 1e-9;
+
+/// Shared state of the DFS.
+struct Search {
+  const graph::Digraph& g;
+  const model::ModeSet& modes;
+  const model::PowerLaw& power;
+  double deadline;
+  std::vector<graph::NodeId> order;      ///< topological
+  std::vector<double> bottom_level;      ///< heaviest path weight from v
+  std::vector<double> energy_tail;       ///< slowest-mode energy of order[k..)
+  std::vector<double> completion;        ///< per-task, for the assigned prefix
+  std::vector<std::size_t> choice;       ///< mode index per task
+  std::vector<std::size_t> best_choice;
+  double best_energy = kInf;
+  std::size_t nodes = 0;
+  std::size_t max_nodes = 0;
+  bool aborted = false;
+
+  void dfs(std::size_t position, double partial_energy) {
+    if (aborted) return;
+    if (position == order.size()) {
+      if (partial_energy < best_energy) {
+        best_energy = partial_energy;
+        best_choice = choice;
+      }
+      return;
+    }
+    const graph::NodeId v = order[position];
+    const double w = g.weight(v);
+    double ready = 0.0;
+    for (graph::NodeId p : g.predecessors(v))
+      ready = std::max(ready, completion[p]);
+    const double tail_weight = bottom_level[v] - w;
+    const double s_fast = modes.max_speed();
+    const double alpha = power.alpha();
+
+    // Zero-weight tasks are mode-independent: a single branch.
+    const std::size_t mode_count = w == 0.0 ? 1 : modes.size();
+    for (std::size_t j = 0; j < mode_count; ++j) {
+      if (++nodes >= max_nodes) {
+        aborted = true;
+        return;
+      }
+      const double speed = modes.speed(j);
+      const double duration = w == 0.0 ? 0.0 : w / speed;
+      const double finish = ready + duration;
+      // Feasibility: heaviest remaining path at the fastest mode.
+      if (finish + tail_weight / s_fast > deadline * kDeadlineTol) continue;
+      const double task_energy =
+          w == 0.0 ? 0.0 : w * std::pow(speed, alpha - 1.0);
+      const double lower_bound =
+          partial_energy + task_energy + energy_tail[position + 1];
+      // Energy grows with the mode: a bound hit kills all faster modes too.
+      if (lower_bound >= best_energy) break;
+
+      completion[v] = finish;
+      choice[v] = j;
+      dfs(position + 1, partial_energy + task_energy);
+      if (aborted) return;
+    }
+  }
+};
+
+}  // namespace
+
+BranchBoundResult solve_discrete_exact(const Instance& instance,
+                                       const model::ModeSet& modes,
+                                       const BranchBoundOptions& options) {
+  const auto& g = instance.exec_graph;
+  BranchBoundResult result;
+  result.solution.method = "discrete-bb";
+
+  if (g.num_nodes() == 0) {
+    result.solution.feasible = true;
+    result.solution.energy = 0.0;
+    result.proven_optimal = true;
+    return result;
+  }
+
+  const auto order = graph::topological_order(g);
+  util::require(order.has_value(), "branch and bound requires a DAG");
+
+  Search search{g,
+                modes,
+                instance.power,
+                instance.deadline,
+                *order,
+                graph::longest_path_from(g),
+                {},
+                std::vector<double>(g.num_nodes(), 0.0),
+                std::vector<std::size_t>(g.num_nodes(), 0),
+                {},
+                kInf,
+                0,
+                options.max_nodes,
+                false};
+
+  // energy_tail[k] = sum of slowest-mode energies of tasks order[k..).
+  search.energy_tail.assign(g.num_nodes() + 1, 0.0);
+  const double slow_factor =
+      std::pow(modes.min_speed(), instance.power.alpha() - 1.0);
+  for (std::size_t k = g.num_nodes(); k-- > 0;) {
+    search.energy_tail[k] =
+        search.energy_tail[k + 1] + g.weight((*order)[k]) * slow_factor;
+  }
+
+  // Warm start with CONT-ROUND.
+  if (options.warm_start) {
+    const RoundUpResult warm = solve_round_up(instance, modes);
+    if (warm.solution.feasible) {
+      search.best_energy = warm.solution.energy * (1.0 + 1e-12);
+      search.best_choice.assign(g.num_nodes(), 0);
+      for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+        const auto index = g.weight(v) > 0.0
+                               ? modes.index_at_or_above(warm.solution.speeds[v])
+                               : std::optional<std::size_t>(0);
+        search.best_choice[v] = index.value_or(modes.size() - 1);
+      }
+    }
+  }
+
+  search.dfs(0, 0.0);
+  result.nodes_explored = search.nodes;
+  result.proven_optimal = !search.aborted;
+
+  if (search.best_choice.empty()) return result;  // infeasible (or no improvement)
+
+  auto& s = result.solution;
+  s.feasible = true;
+  s.speeds.assign(g.num_nodes(), 0.0);
+  s.energy = 0.0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double w = g.weight(v);
+    if (w == 0.0) continue;
+    s.speeds[v] = modes.speed(search.best_choice[v]);
+    s.energy += instance.power.task_energy(w, s.speeds[v]);
+  }
+  s.iterations = search.nodes;
+  return result;
+}
+
+Solution solve_discrete_enumerate(const Instance& instance,
+                                  const model::ModeSet& modes) {
+  const auto& g = instance.exec_graph;
+  Solution best = infeasible_solution("discrete-enumerate");
+  const std::size_t n = g.num_nodes();
+  util::require(n <= 12, "enumeration oracle limited to 12 tasks");
+  if (n == 0) {
+    best.feasible = true;
+    best.energy = 0.0;
+    return best;
+  }
+
+  std::vector<std::size_t> assignment(n, 0);
+  std::vector<double> speeds(n, 0.0);
+  for (;;) {
+    double energy = 0.0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      speeds[v] = g.weight(v) > 0.0 ? modes.speed(assignment[v]) : 0.0;
+      energy += instance.power.task_energy(g.weight(v), speeds[v]);
+    }
+    const auto durations = sched::durations_from_speeds(g, speeds);
+    if (sched::meets_deadline(g, durations, instance.deadline) &&
+        energy < best.energy) {
+      best.feasible = true;
+      best.energy = energy;
+      best.speeds = speeds;
+    }
+    // Odometer increment.
+    std::size_t pos = 0;
+    while (pos < n && ++assignment[pos] == modes.size()) {
+      assignment[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return best;
+}
+
+}  // namespace reclaim::core

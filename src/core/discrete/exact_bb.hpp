@@ -1,0 +1,42 @@
+// Exact Discrete solver by branch-and-bound (the constructive face of
+// Theorem 4's NP-completeness: exponential in the worst case, exact).
+//
+// Depth-first over the tasks in topological order, assigning a mode per
+// task, slowest first. Pruning:
+//  - feasibility: after fixing task v's completion t_v, any extension
+//    needs at least (bottom_level(v) - w_v)/s_m more time on v's heaviest
+//    remaining path;
+//  - energy: partial energy + sum of remaining weights * s_1^(alpha-1)
+//    (every task costs at least its slowest-mode energy) against the
+//    incumbent; since per-task energy grows with the mode, a bound hit
+//    cuts all faster modes of the current task at once;
+//  - warm start: the CONT-ROUND solution seeds the incumbent.
+#pragma once
+
+#include "core/problem.hpp"
+#include "model/energy_model.hpp"
+
+namespace reclaim::core {
+
+struct BranchBoundOptions {
+  std::size_t max_nodes = 20'000'000;  ///< search-tree node budget
+  bool warm_start = true;              ///< seed the incumbent with CONT-ROUND
+};
+
+struct BranchBoundResult {
+  Solution solution;
+  std::size_t nodes_explored = 0;
+  bool proven_optimal = false;  ///< false when the node budget ran out
+};
+
+/// Exact optimum of MinEnergy under the Discrete model (also used for
+/// Incremental via its mode set). Intended for small instances.
+[[nodiscard]] BranchBoundResult solve_discrete_exact(
+    const Instance& instance, const model::ModeSet& modes,
+    const BranchBoundOptions& options = {});
+
+/// Oracle: full enumeration of all m^n assignments. For tiny tests only.
+[[nodiscard]] Solution solve_discrete_enumerate(const Instance& instance,
+                                                const model::ModeSet& modes);
+
+}  // namespace reclaim::core

@@ -1,0 +1,45 @@
+#include "core/discrete/round_up.hpp"
+
+#include <cmath>
+
+#include "core/continuous/dispatch.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::core {
+
+RoundUpResult solve_round_up(const Instance& instance,
+                             const model::ModeSet& modes,
+                             const RoundUpOptions& options) {
+  const auto& g = instance.exec_graph;
+  RoundUpResult result;
+  result.solution.method = "cont-round";
+
+  const double alpha = instance.power.alpha();
+  result.certified_factor =
+      std::pow(1.0 + modes.max_gap() / modes.min_speed(), alpha - 1.0) *
+      std::pow(1.0 + options.continuous_rel_gap, alpha - 1.0);
+
+  model::ContinuousModel continuous{modes.max_speed()};
+  ContinuousOptions cont_options;
+  cont_options.rel_gap = options.continuous_rel_gap;
+  cont_options.s_min = modes.min_speed();
+  result.relaxation = solve_continuous(instance, continuous, cont_options);
+  if (!result.relaxation.feasible) return result;
+
+  auto& s = result.solution;
+  s.feasible = true;
+  s.energy = 0.0;
+  s.speeds.assign(g.num_nodes(), 0.0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double w = g.weight(v);
+    if (w == 0.0) continue;
+    const auto index = modes.index_at_or_above(result.relaxation.speeds[v]);
+    util::require_numeric(index.has_value(),
+                          "cont-round: relaxation speed above the top mode (bug)");
+    s.speeds[v] = modes.speed(*index);
+    s.energy += instance.power.task_energy(w, s.speeds[v]);
+  }
+  return result;
+}
+
+}  // namespace reclaim::core

@@ -1,0 +1,43 @@
+// CONT-ROUND: the approximation algorithm behind Theorem 5 / Proposition 1.
+//
+// 1. Solve the Continuous relaxation restricted to the mode range
+//    [s_1, s_m] (any Discrete/Incremental solution is feasible there, so
+//    the relaxation lower-bounds the discrete optimum).
+// 2. Round every task's speed *up* to the next admissible mode. Durations
+//    shrink, so the schedule stays feasible.
+//
+// Per-task energy grows by at most (s_rounded/s)^(alpha-1) with
+// s_rounded <= s + gap and s >= s_1, hence
+//
+//   E_round <= (1 + gap/s_1)^(alpha-1) * (1 + eps)^(alpha-1) * E_opt,
+//
+// where gap = delta for Incremental (Theorem 5's (1+delta/s_min)^2 for
+// alpha = 3), gap = max mode spacing for Discrete (Proposition 1), and
+// eps is the relative accuracy of the continuous relaxation (Theorem 5's
+// (1 + 1/K)^2 term, exposed as `continuous_rel_gap`).
+#pragma once
+
+#include "core/problem.hpp"
+#include "model/energy_model.hpp"
+#include "model/speed_set.hpp"
+
+namespace reclaim::core {
+
+struct RoundUpOptions {
+  /// Relative accuracy of the continuous relaxation — the 1/K of Thm 5.
+  double continuous_rel_gap = 1e-9;
+};
+
+struct RoundUpResult {
+  Solution solution;           ///< rounded, mode-feasible solution
+  Solution relaxation;         ///< the restricted continuous relaxation
+  double certified_factor = 1.0;  ///< (1 + gap/s_1)^(alpha-1) (1 + eps)^(alpha-1)
+};
+
+/// Runs CONT-ROUND against an arbitrary mode set (covers both the
+/// Discrete and Incremental models).
+[[nodiscard]] RoundUpResult solve_round_up(const Instance& instance,
+                                           const model::ModeSet& modes,
+                                           const RoundUpOptions& options = {});
+
+}  // namespace reclaim::core

@@ -1,0 +1,36 @@
+#include "core/problem.hpp"
+
+#include "graph/topo.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::core {
+
+Instance make_instance(graph::Digraph exec_graph, double deadline, double alpha) {
+  util::require(graph::is_acyclic(exec_graph), "execution graph must be acyclic");
+  util::require(deadline > 0.0, "deadline must be positive");
+  return Instance{std::move(exec_graph), deadline, model::PowerLaw(alpha)};
+}
+
+Solution infeasible_solution(std::string method) {
+  Solution s;
+  s.method = std::move(method);
+  return s;
+}
+
+double critical_weight(const graph::Digraph& exec_graph) {
+  if (exec_graph.num_nodes() == 0) return 0.0;
+  return graph::critical_path(exec_graph).length;
+}
+
+double min_deadline(const graph::Digraph& exec_graph, double s_max) {
+  util::require(s_max > 0.0, "s_max must be positive");
+  return critical_weight(exec_graph) / s_max;
+}
+
+double recompute_energy(const Instance& instance, const Solution& solution) {
+  if (solution.uses_profiles())
+    return sched::total_energy(solution.profiles, instance.power);
+  return sched::total_energy(instance.exec_graph, solution.speeds, instance.power);
+}
+
+}  // namespace reclaim::core

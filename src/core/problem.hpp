@@ -1,0 +1,58 @@
+// The MinEnergy(G, D) optimization problem (Equation 1 of the paper) and
+// its solution type, shared by every solver in core/.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "model/power.hpp"
+#include "sched/schedule.hpp"
+
+namespace reclaim::core {
+
+/// An instance of MinEnergy(G, D): the *execution* graph (original
+/// precedence edges plus same-processor chaining edges, see
+/// sched::build_execution_graph), the deadline, and the power law.
+struct Instance {
+  graph::Digraph exec_graph;
+  double deadline = 0.0;
+  model::PowerLaw power{3.0};
+};
+
+/// Builds an instance, validating the graph (acyclic) and deadline (> 0).
+[[nodiscard]] Instance make_instance(graph::Digraph exec_graph, double deadline,
+                                     double alpha = 3.0);
+
+/// A solution of MinEnergy. Constant-speed models fill `speeds` (entry 0
+/// for zero-weight tasks); Vdd-Hopping fills `profiles`. `method` records
+/// which solver produced it; `iterations` its work measure (Newton steps,
+/// simplex pivots, branch-and-bound nodes, DP cells).
+struct Solution {
+  bool feasible = false;
+  double energy = std::numeric_limits<double>::infinity();
+  std::vector<double> speeds;
+  std::vector<sched::SpeedProfile> profiles;
+  std::string method;
+  std::size_t iterations = 0;
+
+  [[nodiscard]] bool uses_profiles() const noexcept { return !profiles.empty(); }
+};
+
+/// The infeasible solution with solver provenance.
+[[nodiscard]] Solution infeasible_solution(std::string method);
+
+/// Weight of the heaviest path of the execution graph; D must be at least
+/// this divided by the fastest speed for any model to be feasible.
+[[nodiscard]] double critical_weight(const graph::Digraph& exec_graph);
+
+/// Smallest feasible deadline at top speed `s_max`: critical_weight / s_max.
+[[nodiscard]] double min_deadline(const graph::Digraph& exec_graph, double s_max);
+
+/// Recomputes the energy of a constant-speed solution from first
+/// principles (used by tests to cross-check solver bookkeeping).
+[[nodiscard]] double recompute_energy(const Instance& instance,
+                                      const Solution& solution);
+
+}  // namespace reclaim::core

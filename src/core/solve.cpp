@@ -1,0 +1,45 @@
+#include "core/solve.hpp"
+
+#include "core/continuous/dispatch.hpp"
+#include "core/discrete/exact_bb.hpp"
+#include "core/discrete/round_up.hpp"
+#include "core/vdd/lp_solver.hpp"
+
+namespace reclaim::core {
+
+namespace {
+
+Solution solve_mode_based(const Instance& instance, const model::ModeSet& modes,
+                          const SolveOptions& options) {
+  if (instance.exec_graph.num_nodes() <= options.exact_discrete_up_to) {
+    return solve_discrete_exact(instance, modes).solution;
+  }
+  RoundUpOptions round_options;
+  round_options.continuous_rel_gap = options.rel_gap;
+  return solve_round_up(instance, modes, round_options).solution;
+}
+
+}  // namespace
+
+Solution solve(const Instance& instance, const model::EnergyModel& energy_model,
+               const SolveOptions& options) {
+  return std::visit(
+      [&](const auto& m) -> Solution {
+        using M = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<M, model::ContinuousModel>) {
+          ContinuousOptions continuous_options;
+          continuous_options.rel_gap = options.rel_gap;
+          return solve_continuous(instance, m, continuous_options);
+        } else if constexpr (std::is_same_v<M, model::VddHoppingModel>) {
+          return solve_vdd_lp(instance, m).solution;
+        } else if constexpr (std::is_same_v<M, model::DiscreteModel>) {
+          return solve_mode_based(instance, m.modes, options);
+        } else {
+          static_assert(std::is_same_v<M, model::IncrementalModel>);
+          return solve_mode_based(instance, m.modes, options);
+        }
+      },
+      energy_model);
+}
+
+}  // namespace reclaim::core

@@ -1,0 +1,30 @@
+// Unified front door: solve MinEnergy under any EnergyModel variant.
+//
+// Dispatch:
+//   Continuous  -> solve_continuous (closed forms / tree / SP / numeric)
+//   Vdd-Hopping -> solve_vdd_lp (exact, Theorem 3)
+//   Discrete    -> exact branch-and-bound when the instance is small
+//                  enough (Theorem 4 willing), else CONT-ROUND (Theorem 5)
+//   Incremental -> same policy on the incremental mode set
+#pragma once
+
+#include "core/problem.hpp"
+#include "model/energy_model.hpp"
+
+namespace reclaim::core {
+
+struct SolveOptions {
+  /// Use the exact exponential solver for Discrete/Incremental when the
+  /// graph has at most this many tasks; CONT-ROUND beyond.
+  std::size_t exact_discrete_up_to = 12;
+  /// Numeric/relaxation accuracy.
+  double rel_gap = 1e-9;
+};
+
+/// Solves the instance under `energy_model`. The returned Solution's
+/// `method` field records the algorithm that actually ran.
+[[nodiscard]] Solution solve(const Instance& instance,
+                             const model::EnergyModel& energy_model,
+                             const SolveOptions& options = {});
+
+}  // namespace reclaim::core

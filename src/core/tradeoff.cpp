@@ -1,0 +1,78 @@
+#include "core/tradeoff.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace reclaim::core {
+
+namespace {
+
+Solution solve_at(const Instance& instance, const model::EnergyModel& model,
+                  double deadline, const SolveOptions& options) {
+  Instance at{instance.exec_graph, deadline, instance.power};
+  return solve(at, model, options);
+}
+
+}  // namespace
+
+std::vector<TradeoffPoint> energy_deadline_curve(
+    const Instance& instance, const model::EnergyModel& energy_model,
+    double d_lo, double d_hi, std::size_t points, const SolveOptions& options) {
+  util::require(points >= 1, "curve needs at least one point");
+  util::require(d_lo > 0.0 && d_lo <= d_hi, "invalid deadline range");
+
+  std::vector<TradeoffPoint> curve;
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = points == 1 ? 0.0
+                                 : static_cast<double>(i) /
+                                       static_cast<double>(points - 1);
+    const double deadline = d_lo + t * (d_hi - d_lo);
+    const Solution s = solve_at(instance, energy_model, deadline, options);
+    curve.push_back({deadline, s.energy, s.feasible});
+  }
+  return curve;
+}
+
+DeadlineForEnergyResult deadline_for_energy(const Instance& instance,
+                                            const model::EnergyModel& energy_model,
+                                            double budget, double d_lo,
+                                            double d_hi, double rel_tol,
+                                            const SolveOptions& options) {
+  util::require(d_lo > 0.0 && d_lo <= d_hi, "invalid deadline range");
+  util::require(budget > 0.0, "energy budget must be positive");
+
+  DeadlineForEnergyResult result;
+  const Solution at_hi = solve_at(instance, energy_model, d_hi, options);
+  if (!at_hi.feasible || at_hi.energy > budget) return result;  // unachievable
+
+  const Solution at_lo = solve_at(instance, energy_model, d_lo, options);
+  if (at_lo.feasible && at_lo.energy <= budget) {
+    result.achievable = true;
+    result.deadline = d_lo;
+    result.energy = at_lo.energy;
+    return result;
+  }
+
+  // Invariant: lo fails the budget (or is infeasible), hi meets it.
+  double lo = d_lo;
+  double hi = d_hi;
+  double hi_energy = at_hi.energy;
+  while (hi - lo > rel_tol * hi) {
+    const double mid = 0.5 * (lo + hi);
+    const Solution s = solve_at(instance, energy_model, mid, options);
+    if (s.feasible && s.energy <= budget) {
+      hi = mid;
+      hi_energy = s.energy;
+    } else {
+      lo = mid;
+    }
+  }
+  result.achievable = true;
+  result.deadline = hi;
+  result.energy = hi_energy;
+  return result;
+}
+
+}  // namespace reclaim::core

@@ -1,0 +1,100 @@
+#include "core/vdd/lp_solver.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace reclaim::core {
+
+VddLpResult solve_vdd_lp(const Instance& instance,
+                         const model::VddHoppingModel& model,
+                         const opt::SimplexOptions& options) {
+  const auto& g = instance.exec_graph;
+  const auto& modes = model.modes;
+  const std::size_t n = g.num_nodes();
+  const std::size_t m = modes.size();
+  const double deadline = instance.deadline;
+
+  VddLpResult result;
+  result.solution.method = "vdd-lp";
+  if (n == 0) {
+    result.solution.feasible = true;
+    result.solution.energy = 0.0;
+    return result;
+  }
+
+  opt::LinearProgram lp;
+  // alpha_{i,j} at index i*m + j; t_i at index n*m + i.
+  for (graph::NodeId i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j)
+      lp.add_variable(instance.power.power(modes.speed(j)));
+  for (graph::NodeId i = 0; i < n; ++i) lp.add_variable(0.0);
+  const auto avar = [m](graph::NodeId i, std::size_t j) { return i * m + j; };
+  const auto tvar = [n, m](graph::NodeId i) { return n * m + i; };
+
+  for (graph::NodeId i = 0; i < n; ++i) {
+    // Work conservation: sum_j s_j alpha_{i,j} = w_i.
+    opt::LinearConstraint work;
+    work.relation = opt::Relation::kEqual;
+    work.rhs = g.weight(i);
+    for (std::size_t j = 0; j < m; ++j)
+      work.terms.push_back({avar(i, j), modes.speed(j)});
+    lp.add_constraint(std::move(work));
+
+    // Start time >= 0: sum_k alpha_{i,k} - t_i <= 0.
+    opt::LinearConstraint start;
+    start.relation = opt::Relation::kLessEqual;
+    start.rhs = 0.0;
+    for (std::size_t j = 0; j < m; ++j) start.terms.push_back({avar(i, j), 1.0});
+    start.terms.push_back({tvar(i), -1.0});
+    lp.add_constraint(std::move(start));
+
+    // Deadline: t_i <= D.
+    lp.add_constraint({{{tvar(i), 1.0}}, opt::Relation::kLessEqual, deadline});
+  }
+  for (const graph::Edge& e : g.edges()) {
+    // t_i + sum_k alpha_{j,k} - t_j <= 0.
+    opt::LinearConstraint prec;
+    prec.relation = opt::Relation::kLessEqual;
+    prec.rhs = 0.0;
+    prec.terms.push_back({tvar(e.from), 1.0});
+    for (std::size_t j = 0; j < m; ++j) prec.terms.push_back({avar(e.to, j), 1.0});
+    prec.terms.push_back({tvar(e.to), -1.0});
+    lp.add_constraint(std::move(prec));
+  }
+
+  result.lp_variables = lp.num_variables();
+  result.lp_constraints = lp.num_constraints();
+
+  const opt::LpSolution lp_solution = opt::solve_lp(lp, options);
+  result.solution.iterations = lp_solution.pivots;
+  if (lp_solution.status != opt::LpStatus::kOptimal) {
+    // Unboundedness is impossible (costs are positive); infeasible means
+    // the deadline is below the critical path at the fastest mode.
+    return result;
+  }
+
+  result.solution.feasible = true;
+  result.solution.energy = lp_solution.objective;
+  result.solution.profiles.assign(n, {});
+  const double drop_tol = 1e-9 * std::max(1.0, deadline);
+  for (graph::NodeId i = 0; i < n; ++i) {
+    auto& profile = result.solution.profiles[i];
+    // Fastest mode first: a canonical, deterministic segment order.
+    for (std::size_t j = m; j-- > 0;) {
+      const double time_in_mode = lp_solution.x[avar(i, j)];
+      if (time_in_mode > drop_tol)
+        profile.segments.push_back({modes.speed(j), time_in_mode});
+    }
+    // Repair the dropped slivers so the profile's work matches w_i exactly:
+    // rescale durations by w_i / work.
+    const double work = profile.work();
+    if (work > 0.0 && g.weight(i) > 0.0) {
+      const double fix = g.weight(i) / work;
+      for (auto& segment : profile.segments) segment.duration *= fix;
+    }
+  }
+  return result;
+}
+
+}  // namespace reclaim::core

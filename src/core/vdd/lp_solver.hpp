@@ -1,0 +1,35 @@
+// Vdd-Hopping exact solver via linear programming (Theorem 3).
+//
+// Variables: alpha_{i,j} = time task i spends in mode s_j, and t_i = the
+// completion time of task i. With d_i = sum_j alpha_{i,j} substituted in
+// place, MinEnergy becomes
+//
+//   minimize   sum_{i,j} P(s_j) * alpha_{i,j}
+//   subject to sum_j s_j * alpha_{i,j}  = w_i              (work)
+//              t_i + sum_k alpha_{j,k} <= t_j              (edges (i,j))
+//              sum_k alpha_{i,k}       <= t_i              (start >= 0)
+//              t_i                     <= D
+//              alpha, t                >= 0
+//
+// — a plain LP, polynomial as the theorem states. The basic optimal
+// solutions mix at most two (adjacent) modes per task; the solver returns
+// the per-task speed profiles.
+#pragma once
+
+#include "core/problem.hpp"
+#include "model/energy_model.hpp"
+#include "opt/simplex.hpp"
+
+namespace reclaim::core {
+
+struct VddLpResult {
+  Solution solution;
+  std::size_t lp_variables = 0;
+  std::size_t lp_constraints = 0;
+};
+
+[[nodiscard]] VddLpResult solve_vdd_lp(const Instance& instance,
+                                       const model::VddHoppingModel& model,
+                                       const opt::SimplexOptions& options = {});
+
+}  // namespace reclaim::core

@@ -1,0 +1,58 @@
+#include "core/vdd/two_mode.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/continuous/dispatch.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::core {
+
+Solution solve_vdd_two_mode(const Instance& instance,
+                            const model::VddHoppingModel& model,
+                            const TwoModeOptions& options) {
+  const auto& g = instance.exec_graph;
+  const auto& modes = model.modes;
+  Solution s;
+  s.method = "vdd-two-mode";
+
+  model::ContinuousModel continuous{modes.max_speed()};
+  ContinuousOptions cont_options;
+  cont_options.rel_gap = options.continuous_rel_gap;
+  const Solution relaxed = solve_continuous(instance, continuous, cont_options);
+  if (!relaxed.feasible) return s;
+
+  s.feasible = true;
+  s.energy = 0.0;
+  s.profiles.assign(g.num_nodes(), {});
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double w = g.weight(v);
+    if (w == 0.0) continue;
+    auto& profile = s.profiles[v];
+    const double window = w / relaxed.speeds[v];  // continuous duration
+    const double required = std::min(w / window, modes.max_speed());
+
+    if (required <= modes.min_speed()) {
+      // Slow-mode only; finishes early, which can only relax successors.
+      profile.segments.push_back({modes.min_speed(), w / modes.min_speed()});
+    } else if (modes.contains(required)) {
+      profile.segments.push_back({required, w / required});
+    } else {
+      const auto lo_index = modes.index_at_or_below(required);
+      const auto hi_index = modes.index_at_or_above(required);
+      util::require_numeric(lo_index.has_value() && hi_index.has_value(),
+                            "two-mode: bracketing modes missing (bug)");
+      const double lo = modes.speed(*lo_index);
+      const double hi = modes.speed(*hi_index);
+      // Split window d into lo/hi segments: lo*a + hi*b = w, a + b = d.
+      const double hi_time = (w - lo * window) / (hi - lo);
+      const double lo_time = window - hi_time;
+      if (hi_time > 0.0) profile.segments.push_back({hi, hi_time});
+      if (lo_time > 0.0) profile.segments.push_back({lo, lo_time});
+    }
+    s.energy += profile.energy(instance.power);
+  }
+  return s;
+}
+
+}  // namespace reclaim::core

@@ -1,0 +1,26 @@
+// Two-mode Vdd-Hopping heuristic.
+//
+// The Vdd model's motivation ([Miermont et al.], cited by the paper) is
+// that "any rational speed can be simulated" by hopping between two
+// modes. This heuristic fixes the *durations* to the Continuous optimum
+// and realizes each task's required average speed by the optimal mix of
+// the two adjacent modes (or runs entirely at s_1 when the required speed
+// falls below the slowest mode). It is feasible by construction and upper
+// bounds the LP optimum of Theorem 3 — the gap is exactly the price of
+// freezing the continuous durations, which experiment E3 measures.
+#pragma once
+
+#include "core/problem.hpp"
+#include "model/energy_model.hpp"
+
+namespace reclaim::core {
+
+struct TwoModeOptions {
+  double continuous_rel_gap = 1e-9;
+};
+
+[[nodiscard]] Solution solve_vdd_two_mode(const Instance& instance,
+                                          const model::VddHoppingModel& model,
+                                          const TwoModeOptions& options = {});
+
+}  // namespace reclaim::core

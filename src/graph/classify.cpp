@@ -1,0 +1,75 @@
+#include "graph/classify.hpp"
+
+#include "graph/sp_tree.hpp"
+#include "graph/topo.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::graph {
+
+std::string_view to_string(GraphShape shape) noexcept {
+  switch (shape) {
+    case GraphShape::kEmpty: return "empty";
+    case GraphShape::kSingleTask: return "single-task";
+    case GraphShape::kChain: return "chain";
+    case GraphShape::kFork: return "fork";
+    case GraphShape::kJoin: return "join";
+    case GraphShape::kOutTree: return "out-tree";
+    case GraphShape::kInTree: return "in-tree";
+    case GraphShape::kSeriesParallel: return "series-parallel";
+    case GraphShape::kGeneral: return "general";
+  }
+  return "unknown";
+}
+
+bool is_chain(const Digraph& g) {
+  if (g.num_nodes() < 2) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.in_degree(v) > 1 || g.out_degree(v) > 1) return false;
+  }
+  return is_weakly_connected(g) && is_acyclic(g);
+}
+
+bool is_fork(const Digraph& g) {
+  const std::size_t n = g.num_nodes();
+  if (n < 2) return false;
+  const auto roots = g.sources();
+  if (roots.size() != 1) return false;
+  const NodeId root = roots.front();
+  if (g.out_degree(root) != n - 1) return false;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == root) continue;
+    if (g.in_degree(v) != 1 || g.out_degree(v) != 0) return false;
+  }
+  return true;
+}
+
+bool is_join(const Digraph& g) { return is_fork(g.reversed()); }
+
+bool is_out_tree(const Digraph& g) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return false;
+  if (g.num_edges() != n - 1) return false;
+  if (g.sources().size() != 1) return false;
+  for (NodeId v = 0; v < n; ++v) {
+    if (g.in_degree(v) > 1) return false;
+  }
+  // n-1 edges, unique root, in-degree <= 1 everywhere: a connected DAG.
+  return is_acyclic(g);
+}
+
+bool is_in_tree(const Digraph& g) { return is_out_tree(g.reversed()); }
+
+GraphShape classify(const Digraph& g) {
+  util::require(is_acyclic(g), "classify requires a DAG");
+  if (g.num_nodes() == 0) return GraphShape::kEmpty;
+  if (g.num_nodes() == 1) return GraphShape::kSingleTask;
+  if (is_chain(g)) return GraphShape::kChain;
+  if (is_fork(g)) return GraphShape::kFork;
+  if (is_join(g)) return GraphShape::kJoin;
+  if (is_out_tree(g)) return GraphShape::kOutTree;
+  if (is_in_tree(g)) return GraphShape::kInTree;
+  if (sp_decompose(g).has_value()) return GraphShape::kSeriesParallel;
+  return GraphShape::kGeneral;
+}
+
+}  // namespace reclaim::graph

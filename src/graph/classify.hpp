@@ -1,0 +1,51 @@
+// Structural classification of execution graphs.
+//
+// The paper's complexity results are keyed to graph families: closed forms
+// for forks/joins (Thm 1), polynomial algorithms for trees and
+// series-parallel graphs (Thm 2), geometric programming in general. The
+// continuous-model dispatcher uses this classification to pick the
+// strongest applicable solver.
+#pragma once
+
+#include <string_view>
+
+#include "graph/digraph.hpp"
+
+namespace reclaim::graph {
+
+enum class GraphShape {
+  kEmpty,
+  kSingleTask,
+  kChain,          ///< a single directed path
+  kFork,           ///< one source, every other node a child leaf of it
+  kJoin,           ///< one sink, every other node a parent leaf of it
+  kOutTree,        ///< every node has at most one predecessor, connected
+  kInTree,         ///< every node has at most one successor, connected
+  kSeriesParallel, ///< two-terminal series-parallel (see sp_tree.hpp)
+  kGeneral,
+};
+
+[[nodiscard]] std::string_view to_string(GraphShape shape) noexcept;
+
+/// n >= 2 directed path. (A single node is classified as kSingleTask.)
+[[nodiscard]] bool is_chain(const Digraph& g);
+
+/// Fork in the paper's sense: source T0 plus leaves T1..Tn, n >= 1.
+[[nodiscard]] bool is_fork(const Digraph& g);
+
+/// Mirror image of a fork.
+[[nodiscard]] bool is_join(const Digraph& g);
+
+/// Rooted tree with edges oriented away from the root.
+[[nodiscard]] bool is_out_tree(const Digraph& g);
+
+/// Rooted tree with edges oriented towards the root.
+[[nodiscard]] bool is_in_tree(const Digraph& g);
+
+/// Most specific shape for `g` (requires a DAG). The order of checks is
+/// SingleTask, Chain, Fork, Join, OutTree, InTree, SeriesParallel, General,
+/// so e.g. a chain — which is also a fork degenerate and a tree — reports
+/// kChain.
+[[nodiscard]] GraphShape classify(const Digraph& g);
+
+}  // namespace reclaim::graph

@@ -1,0 +1,120 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace reclaim::graph {
+
+using util::require;
+
+Digraph::Digraph(std::size_t n, double weight)
+    : weights_(n, weight), names_(n), succs_(n), preds_(n) {
+  require(weight >= 0.0, "task weights must be non-negative");
+}
+
+NodeId Digraph::add_node(double weight, std::string name) {
+  require(weight >= 0.0, "task weights must be non-negative");
+  weights_.push_back(weight);
+  names_.push_back(std::move(name));
+  succs_.emplace_back();
+  preds_.emplace_back();
+  return weights_.size() - 1;
+}
+
+void Digraph::check_node(NodeId v) const {
+  require(v < weights_.size(), "node id out of range");
+}
+
+void Digraph::add_edge(NodeId from, NodeId to) {
+  require(add_edge_if_absent(from, to), "duplicate edge");
+}
+
+bool Digraph::add_edge_if_absent(NodeId from, NodeId to) {
+  check_node(from);
+  check_node(to);
+  require(from != to, "self loops are not allowed");
+  if (has_edge(from, to)) return false;
+  succs_[from].push_back(to);
+  preds_[to].push_back(from);
+  ++num_edges_;
+  return true;
+}
+
+double Digraph::weight(NodeId v) const {
+  check_node(v);
+  return weights_[v];
+}
+
+void Digraph::set_weight(NodeId v, double w) {
+  check_node(v);
+  require(w >= 0.0, "task weights must be non-negative");
+  weights_[v] = w;
+}
+
+const std::string& Digraph::name(NodeId v) const {
+  check_node(v);
+  return names_[v];
+}
+
+void Digraph::set_name(NodeId v, std::string name) {
+  check_node(v);
+  names_[v] = std::move(name);
+}
+
+const std::vector<NodeId>& Digraph::successors(NodeId v) const {
+  check_node(v);
+  return succs_[v];
+}
+
+const std::vector<NodeId>& Digraph::predecessors(NodeId v) const {
+  check_node(v);
+  return preds_[v];
+}
+
+bool Digraph::has_edge(NodeId from, NodeId to) const {
+  check_node(from);
+  check_node(to);
+  const auto& out = succs_[from];
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+std::vector<NodeId> Digraph::sources() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes(); ++v)
+    if (preds_[v].empty()) out.push_back(v);
+  return out;
+}
+
+std::vector<NodeId> Digraph::sinks() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes(); ++v)
+    if (succs_[v].empty()) out.push_back(v);
+  return out;
+}
+
+std::vector<Edge> Digraph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges_);
+  for (NodeId v = 0; v < num_nodes(); ++v)
+    for (NodeId s : succs_[v]) out.push_back({v, s});
+  return out;
+}
+
+double Digraph::total_weight() const noexcept {
+  double s = 0.0;
+  for (double w : weights_) s += w;
+  return s;
+}
+
+Digraph Digraph::reversed() const {
+  Digraph r;
+  r.weights_ = weights_;
+  r.names_ = names_;
+  r.succs_ = preds_;
+  r.preds_ = succs_;
+  r.num_edges_ = num_edges_;
+  return r;
+}
+
+}  // namespace reclaim::graph

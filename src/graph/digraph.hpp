@@ -1,0 +1,85 @@
+// Node-weighted directed graph used for task graphs and execution graphs.
+//
+// Nodes carry the task cost w_i from the paper's formulation (Eq. 1); edges
+// are precedence constraints. The container stays deliberately simple:
+// contiguous ids, adjacency lists in insertion order, O(deg) membership
+// tests. All higher-level algorithms live in separate headers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace reclaim::graph {
+
+using NodeId = std::size_t;
+
+/// Sentinel id for "no node" (used e.g. by SP-tree junction leaves).
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+struct Edge {
+  NodeId from;
+  NodeId to;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Creates a graph with `n` nodes of weight `weight` and no edges.
+  explicit Digraph(std::size_t n, double weight = 1.0);
+
+  /// Adds a node with cost `weight` (>= 0) and optional display name.
+  NodeId add_node(double weight, std::string name = {});
+
+  /// Adds edge from -> to. Requires distinct existing endpoints; duplicate
+  /// edges are rejected.
+  void add_edge(NodeId from, NodeId to);
+
+  /// Adds the edge unless it already exists; returns true when inserted.
+  bool add_edge_if_absent(NodeId from, NodeId to);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return weights_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+  [[nodiscard]] double weight(NodeId v) const;
+  void set_weight(NodeId v, double w);
+
+  [[nodiscard]] const std::string& name(NodeId v) const;
+  void set_name(NodeId v, std::string name);
+
+  [[nodiscard]] const std::vector<NodeId>& successors(NodeId v) const;
+  [[nodiscard]] const std::vector<NodeId>& predecessors(NodeId v) const;
+
+  [[nodiscard]] std::size_t out_degree(NodeId v) const { return successors(v).size(); }
+  [[nodiscard]] std::size_t in_degree(NodeId v) const { return predecessors(v).size(); }
+
+  [[nodiscard]] bool has_edge(NodeId from, NodeId to) const;
+
+  /// Nodes with no predecessors, in id order.
+  [[nodiscard]] std::vector<NodeId> sources() const;
+  /// Nodes with no successors, in id order.
+  [[nodiscard]] std::vector<NodeId> sinks() const;
+
+  /// All edges, ordered by (from, insertion order).
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// Sum of all node weights.
+  [[nodiscard]] double total_weight() const noexcept;
+
+  /// Returns a graph with every edge reversed (weights/names preserved).
+  [[nodiscard]] Digraph reversed() const;
+
+ private:
+  void check_node(NodeId v) const;
+
+  std::vector<double> weights_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<NodeId>> succs_;
+  std::vector<std::vector<NodeId>> preds_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace reclaim::graph

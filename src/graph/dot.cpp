@@ -1,0 +1,26 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace reclaim::graph {
+
+std::string to_dot(const Digraph& g, const std::string& title) {
+  std::ostringstream os;
+  os << "digraph \"" << title << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=box];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v << " [label=\"";
+    if (!g.name(v).empty()) {
+      os << g.name(v);
+    } else {
+      os << "T" << v;
+    }
+    os << "\\nw=" << g.weight(v) << "\"];\n";
+  }
+  for (const Edge& e : g.edges())
+    os << "  n" << e.from << " -> n" << e.to << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace reclaim::graph

@@ -1,0 +1,14 @@
+// Graphviz DOT export for debugging and documentation.
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace reclaim::graph {
+
+/// Renders `g` as a Graphviz digraph. Node labels show the name (when set)
+/// and the weight.
+[[nodiscard]] std::string to_dot(const Digraph& g, const std::string& title = "G");
+
+}  // namespace reclaim::graph

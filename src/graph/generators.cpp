@@ -1,0 +1,346 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace reclaim::graph {
+
+using util::require;
+
+double WeightRange::sample(util::Rng& rng) const {
+  return rng.uniform(min, max);
+}
+
+namespace {
+
+std::vector<double> sample_weights(std::size_t n, util::Rng& rng, WeightRange wr) {
+  require(wr.min > 0.0 && wr.max >= wr.min, "invalid weight range");
+  std::vector<double> w(n);
+  for (auto& x : w) x = wr.sample(rng);
+  return w;
+}
+
+}  // namespace
+
+Digraph make_chain(const std::vector<double>& weights) {
+  require(!weights.empty(), "chain requires at least one task");
+  Digraph g;
+  for (double w : weights) g.add_node(w);
+  for (NodeId v = 0; v + 1 < g.num_nodes(); ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Digraph make_chain(std::size_t n, util::Rng& rng, WeightRange wr) {
+  return make_chain(sample_weights(n, rng, wr));
+}
+
+Digraph make_fork(const std::vector<double>& weights) {
+  require(weights.size() >= 2, "fork requires a source and >= 1 leaf");
+  Digraph g;
+  for (double w : weights) g.add_node(w);
+  for (NodeId v = 1; v < g.num_nodes(); ++v) g.add_edge(0, v);
+  return g;
+}
+
+Digraph make_fork(std::size_t leaves, util::Rng& rng, WeightRange wr) {
+  return make_fork(sample_weights(leaves + 1, rng, wr));
+}
+
+Digraph make_join(const std::vector<double>& weights) {
+  require(weights.size() >= 2, "join requires a sink and >= 1 leaf");
+  Digraph g;
+  for (double w : weights) g.add_node(w);
+  for (NodeId v = 1; v < g.num_nodes(); ++v) g.add_edge(v, 0);
+  return g;
+}
+
+Digraph make_join(std::size_t leaves, util::Rng& rng, WeightRange wr) {
+  return make_join(sample_weights(leaves + 1, rng, wr));
+}
+
+Digraph make_diamond(std::size_t width, util::Rng& rng, WeightRange wr) {
+  require(width >= 1, "diamond requires width >= 1");
+  Digraph g;
+  const NodeId src = g.add_node(wr.sample(rng), "src");
+  std::vector<NodeId> mid(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    mid[i] = g.add_node(wr.sample(rng), "mid" + std::to_string(i));
+    g.add_edge(src, mid[i]);
+  }
+  const NodeId dst = g.add_node(wr.sample(rng), "dst");
+  for (NodeId m : mid) g.add_edge(m, dst);
+  return g;
+}
+
+Digraph make_random_out_tree(std::size_t n, util::Rng& rng, WeightRange wr) {
+  require(n >= 1, "tree requires >= 1 task");
+  Digraph g;
+  g.add_node(wr.sample(rng));
+  for (std::size_t i = 1; i < n; ++i) {
+    const NodeId v = g.add_node(wr.sample(rng));
+    const auto parent = static_cast<NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    g.add_edge(parent, v);
+  }
+  return g;
+}
+
+Digraph make_random_in_tree(std::size_t n, util::Rng& rng, WeightRange wr) {
+  return make_random_out_tree(n, rng, wr).reversed();
+}
+
+Digraph make_layered(std::size_t layers, std::size_t width, double edge_prob,
+                     util::Rng& rng, WeightRange wr) {
+  require(layers >= 1 && width >= 1, "layered DAG requires layers, width >= 1");
+  require(edge_prob >= 0.0 && edge_prob <= 1.0, "edge probability in [0, 1]");
+  Digraph g;
+  std::vector<std::vector<NodeId>> layer_nodes(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    for (std::size_t i = 0; i < width; ++i) {
+      layer_nodes[l].push_back(
+          g.add_node(wr.sample(rng),
+                     "L" + std::to_string(l) + "." + std::to_string(i)));
+    }
+  }
+  for (std::size_t l = 1; l < layers; ++l) {
+    for (NodeId v : layer_nodes[l]) {
+      bool any = false;
+      for (NodeId p : layer_nodes[l - 1]) {
+        if (rng.bernoulli(edge_prob)) {
+          g.add_edge(p, v);
+          any = true;
+        }
+      }
+      if (!any) {
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(width) - 1));
+        g.add_edge(layer_nodes[l - 1][pick], v);
+      }
+    }
+  }
+  return g;
+}
+
+Digraph make_erdos_renyi_dag(std::size_t n, double p, util::Rng& rng,
+                             WeightRange wr) {
+  require(n >= 1, "DAG requires >= 1 task");
+  require(p >= 0.0 && p <= 1.0, "edge probability in [0, 1]");
+  Digraph g;
+  for (std::size_t i = 0; i < n; ++i) g.add_node(wr.sample(rng));
+  // Random topological order over the ids, then forward edges only.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.bernoulli(p)) g.add_edge(order[i], order[j]);
+  return g;
+}
+
+namespace {
+
+/// A materialized SP fragment: node ids of its sources and sinks.
+struct SpFragment {
+  std::vector<NodeId> sources;
+  std::vector<NodeId> sinks;
+};
+
+SpFragment build_sp(Digraph& g, std::size_t tasks, util::Rng& rng,
+                    const WeightRange& wr) {
+  if (tasks == 1) {
+    const NodeId v = g.add_node(wr.sample(rng));
+    return {{v}, {v}};
+  }
+  const auto left_count = static_cast<std::size_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(tasks) - 1));
+  SpFragment left = build_sp(g, left_count, rng, wr);
+  SpFragment right = build_sp(g, tasks - left_count, rng, wr);
+
+  if (rng.bernoulli(0.5)) {
+    // Parallel composition: disjoint union.
+    left.sources.insert(left.sources.end(), right.sources.begin(),
+                        right.sources.end());
+    left.sinks.insert(left.sinks.end(), right.sinks.begin(), right.sinks.end());
+    return left;
+  }
+  // Series composition. A multi-sink/multi-source joint needs a zero-weight
+  // junction task to stay inside the two-terminal SP class.
+  if (left.sinks.size() > 1 && right.sources.size() > 1) {
+    const NodeId j = g.add_node(0.0, "junction");
+    for (NodeId s : left.sinks) g.add_edge(s, j);
+    for (NodeId s : right.sources) g.add_edge(j, s);
+  } else {
+    for (NodeId a : left.sinks)
+      for (NodeId b : right.sources) g.add_edge(a, b);
+  }
+  return {std::move(left.sources), std::move(right.sinks)};
+}
+
+}  // namespace
+
+Digraph make_random_series_parallel(std::size_t target_tasks, util::Rng& rng,
+                                    WeightRange wr) {
+  require(target_tasks >= 1, "SP graph requires >= 1 task");
+  Digraph g;
+  build_sp(g, target_tasks, rng, wr);
+  return g;
+}
+
+Digraph make_fork_join_chain(std::size_t stages, std::size_t width,
+                             util::Rng& rng, WeightRange wr) {
+  require(stages >= 1 && width >= 1, "fork-join chain requires stages, width >= 1");
+  Digraph g;
+  NodeId previous_join = kNoNode;
+  for (std::size_t s = 0; s < stages; ++s) {
+    const NodeId fork = g.add_node(wr.sample(rng), "fork" + std::to_string(s));
+    if (previous_join != kNoNode) g.add_edge(previous_join, fork);
+    const NodeId join = g.add_node(wr.sample(rng), "join" + std::to_string(s));
+    for (std::size_t i = 0; i < width; ++i) {
+      const NodeId mid = g.add_node(
+          wr.sample(rng), "w" + std::to_string(s) + "." + std::to_string(i));
+      g.add_edge(fork, mid);
+      g.add_edge(mid, join);
+    }
+    previous_join = join;
+  }
+  return g;
+}
+
+Digraph make_tiled_cholesky(std::size_t tiles) {
+  require(tiles >= 1, "tiled Cholesky requires >= 1 tile");
+  constexpr double kPotrf = 1.0 / 3.0;
+  constexpr double kTrsm = 1.0;
+  constexpr double kSyrk = 1.0;
+  constexpr double kGemm = 2.0;
+
+  Digraph g;
+  std::map<std::tuple<char, std::size_t, std::size_t, std::size_t>, NodeId> id;
+  auto node = [&](char kind, std::size_t k, std::size_t i, std::size_t j,
+                  double w, const std::string& name) {
+    const NodeId v = g.add_node(w, name);
+    id[{kind, k, i, j}] = v;
+    return v;
+  };
+  auto get = [&](char kind, std::size_t k, std::size_t i, std::size_t j) {
+    return id.at({kind, k, i, j});
+  };
+
+  for (std::size_t k = 0; k < tiles; ++k) {
+    const std::string ks = std::to_string(k);
+    const NodeId potrf = node('P', k, 0, 0, kPotrf, "POTRF(" + ks + ")");
+    if (k > 0) g.add_edge(get('S', k - 1, k, 0), potrf);
+
+    for (std::size_t i = k + 1; i < tiles; ++i) {
+      const NodeId trsm = node('T', k, i, 0, kTrsm,
+                               "TRSM(" + ks + "," + std::to_string(i) + ")");
+      g.add_edge(potrf, trsm);
+      if (k > 0) g.add_edge(get('G', k - 1, i, k), trsm);
+    }
+    for (std::size_t i = k + 1; i < tiles; ++i) {
+      const NodeId syrk = node('S', k, i, 0, kSyrk,
+                               "SYRK(" + ks + "," + std::to_string(i) + ")");
+      g.add_edge(get('T', k, i, 0), syrk);
+      if (k > 0) g.add_edge(get('S', k - 1, i, 0), syrk);
+      for (std::size_t j = k + 1; j < i; ++j) {
+        const NodeId gemm =
+            node('G', k, i, j, kGemm,
+                 "GEMM(" + ks + "," + std::to_string(i) + "," + std::to_string(j) + ")");
+        g.add_edge(get('T', k, i, 0), gemm);
+        g.add_edge(get('T', k, j, 0), gemm);
+        if (k > 0) g.add_edge(get('G', k - 1, i, j), gemm);
+      }
+    }
+  }
+  return g;
+}
+
+Digraph make_tiled_lu(std::size_t tiles) {
+  require(tiles >= 1, "tiled LU requires >= 1 tile");
+  constexpr double kGetrf = 2.0 / 3.0;
+  constexpr double kTrsm = 1.0;
+  constexpr double kGemm = 2.0;
+
+  Digraph g;
+  std::map<std::tuple<char, std::size_t, std::size_t, std::size_t>, NodeId> id;
+  auto node = [&](char kind, std::size_t k, std::size_t i, std::size_t j,
+                  double w, const std::string& name) {
+    const NodeId v = g.add_node(w, name);
+    id[{kind, k, i, j}] = v;
+    return v;
+  };
+  auto get = [&](char kind, std::size_t k, std::size_t i, std::size_t j) {
+    return id.at({kind, k, i, j});
+  };
+
+  for (std::size_t k = 0; k < tiles; ++k) {
+    const std::string ks = std::to_string(k);
+    const NodeId getrf = node('F', k, 0, 0, kGetrf, "GETRF(" + ks + ")");
+    if (k > 0) g.add_edge(get('G', k - 1, k, k), getrf);
+
+    for (std::size_t j = k + 1; j < tiles; ++j) {
+      const NodeId trsm = node('R', k, 0, j, kTrsm,
+                               "TRSM_R(" + ks + "," + std::to_string(j) + ")");
+      g.add_edge(getrf, trsm);
+      if (k > 0) g.add_edge(get('G', k - 1, k, j), trsm);
+    }
+    for (std::size_t i = k + 1; i < tiles; ++i) {
+      const NodeId trsm = node('C', k, i, 0, kTrsm,
+                               "TRSM_C(" + ks + "," + std::to_string(i) + ")");
+      g.add_edge(getrf, trsm);
+      if (k > 0) g.add_edge(get('G', k - 1, i, k), trsm);
+    }
+    for (std::size_t i = k + 1; i < tiles; ++i) {
+      for (std::size_t j = k + 1; j < tiles; ++j) {
+        const NodeId gemm =
+            node('G', k, i, j, kGemm,
+                 "GEMM(" + ks + "," + std::to_string(i) + "," + std::to_string(j) + ")");
+        g.add_edge(get('C', k, i, 0), gemm);
+        g.add_edge(get('R', k, 0, j), gemm);
+        if (k > 0) g.add_edge(get('G', k - 1, i, j), gemm);
+      }
+    }
+  }
+  return g;
+}
+
+Digraph make_fft(std::size_t log2_size) {
+  require(log2_size >= 1, "FFT requires >= 2 points");
+  const std::size_t n = std::size_t{1} << log2_size;
+  Digraph g;
+  // ids[s][i]: stage s, position i.
+  std::vector<std::vector<NodeId>> ids(log2_size + 1, std::vector<NodeId>(n));
+  for (std::size_t i = 0; i < n; ++i)
+    ids[0][i] = g.add_node(1.0, "load" + std::to_string(i));
+  for (std::size_t s = 1; s <= log2_size; ++s) {
+    const std::size_t stride = std::size_t{1} << (s - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids[s][i] = g.add_node(
+          1.0, "bf" + std::to_string(s) + "." + std::to_string(i));
+      g.add_edge(ids[s - 1][i], ids[s][i]);
+      g.add_edge(ids[s - 1][i ^ stride], ids[s][i]);
+    }
+  }
+  return g;
+}
+
+Digraph make_stencil(std::size_t rows, std::size_t cols, util::Rng& rng,
+                     WeightRange wr) {
+  require(rows >= 1 && cols >= 1, "stencil requires rows, cols >= 1");
+  Digraph g;
+  std::vector<std::vector<NodeId>> ids(rows, std::vector<NodeId>(cols));
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      ids[i][j] = g.add_node(
+          wr.sample(rng), "c" + std::to_string(i) + "." + std::to_string(j));
+      if (i > 0) g.add_edge(ids[i - 1][j], ids[i][j]);
+      if (j > 0) g.add_edge(ids[i][j - 1], ids[i][j]);
+    }
+  }
+  return g;
+}
+
+}  // namespace reclaim::graph

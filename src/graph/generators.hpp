@@ -1,0 +1,93 @@
+// Task-graph generators: synthetic families keyed to the paper's theory
+// (chains, forks, joins, trees, series-parallel, layered/random DAGs) and
+// realistic HPC application graphs standing in for the "legacy
+// applications" that motivate the fixed-mapping problem (tiled Cholesky,
+// tiled LU, FFT butterflies, stencil wavefronts, fork-join pipelines).
+//
+// Every generator is deterministic in its Rng argument.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace reclaim::graph {
+
+/// Uniform weight range for randomized generators.
+struct WeightRange {
+  double min = 1.0;
+  double max = 10.0;
+
+  [[nodiscard]] double sample(util::Rng& rng) const;
+};
+
+/// Directed path T0 -> T1 -> ... with the given weights (>= 1 task).
+[[nodiscard]] Digraph make_chain(const std::vector<double>& weights);
+[[nodiscard]] Digraph make_chain(std::size_t n, util::Rng& rng, WeightRange wr = {});
+
+/// Fork: weights[0] is the source T0, the rest are its leaves (Thm 1).
+[[nodiscard]] Digraph make_fork(const std::vector<double>& weights);
+[[nodiscard]] Digraph make_fork(std::size_t leaves, util::Rng& rng, WeightRange wr = {});
+
+/// Join: mirror of a fork; weights[0] is the sink.
+[[nodiscard]] Digraph make_join(const std::vector<double>& weights);
+[[nodiscard]] Digraph make_join(std::size_t leaves, util::Rng& rng, WeightRange wr = {});
+
+/// Diamond: source -> `width` parallel tasks -> sink.
+[[nodiscard]] Digraph make_diamond(std::size_t width, util::Rng& rng, WeightRange wr = {});
+
+/// Random out-tree: node i > 0 attaches below a uniform node in [0, i).
+[[nodiscard]] Digraph make_random_out_tree(std::size_t n, util::Rng& rng,
+                                           WeightRange wr = {});
+
+/// Random in-tree: reverse of a random out-tree.
+[[nodiscard]] Digraph make_random_in_tree(std::size_t n, util::Rng& rng,
+                                          WeightRange wr = {});
+
+/// Layered DAG: `layers` layers of `width` tasks; each node in layer l > 0
+/// draws edges from layer l-1 nodes with probability `edge_prob` and gets
+/// at least one predecessor. The classic random workload for list
+/// scheduling experiments.
+[[nodiscard]] Digraph make_layered(std::size_t layers, std::size_t width,
+                                   double edge_prob, util::Rng& rng,
+                                   WeightRange wr = {});
+
+/// Erdos-Renyi DAG on a random topological order: edge i -> j (i < j in the
+/// order) with probability p.
+[[nodiscard]] Digraph make_erdos_renyi_dag(std::size_t n, double p, util::Rng& rng,
+                                           WeightRange wr = {});
+
+/// Random series-parallel graph with ~`target_tasks` real tasks, built by
+/// recursive series/parallel composition. Zero-weight junction tasks are
+/// inserted at multi-sink/multi-source series joints so the result stays in
+/// the class recognized by sp_decompose.
+[[nodiscard]] Digraph make_random_series_parallel(std::size_t target_tasks,
+                                                  util::Rng& rng,
+                                                  WeightRange wr = {});
+
+/// Alternating fork-join pipeline: `stages` sequential stages, each a fork
+/// of `width` parallel tasks followed by a join task. Series-parallel.
+[[nodiscard]] Digraph make_fork_join_chain(std::size_t stages, std::size_t width,
+                                           util::Rng& rng, WeightRange wr = {});
+
+/// Tiled right-looking Cholesky factorization DAG on a `tiles` x `tiles`
+/// lower-triangular tile matrix. Weights follow the per-kernel flop counts
+/// (POTRF 1/3, TRSM 1, SYRK 1, GEMM 2, in units of b^3).
+[[nodiscard]] Digraph make_tiled_cholesky(std::size_t tiles);
+
+/// Tiled LU factorization DAG (no pivoting) on a `tiles` x `tiles` tile
+/// matrix. Weights: GETRF 2/3, TRSM 1, GEMM 2.
+[[nodiscard]] Digraph make_tiled_lu(std::size_t tiles);
+
+/// Radix-2 FFT butterfly DAG on 2^log2_size points: one task per point and
+/// stage, stage s > 0 tasks depend on the two stage s-1 partners.
+[[nodiscard]] Digraph make_fft(std::size_t log2_size);
+
+/// 2D stencil wavefront: task (i, j) depends on (i-1, j) and (i, j-1).
+/// Contains the N-structure, so it is a genuinely general DAG.
+[[nodiscard]] Digraph make_stencil(std::size_t rows, std::size_t cols,
+                                   util::Rng& rng, WeightRange wr = {});
+
+}  // namespace reclaim::graph

@@ -1,0 +1,210 @@
+#include "graph/sp_tree.hpp"
+
+#include <algorithm>
+
+#include "graph/topo.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::graph {
+
+namespace {
+
+/// One edge of the reduction multigraph; payload indexes the SpTree arena.
+struct REdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::size_t payload = 0;
+  bool alive = true;
+};
+
+/// The reduction state: node-split multigraph plus the growing SpTree arena.
+class Reducer {
+ public:
+  explicit Reducer(const Digraph& g)
+      : graph_(g), source_(2 * g.num_nodes()), sink_(2 * g.num_nodes() + 1) {
+    const std::size_t vertices = 2 * g.num_nodes() + 2;
+    out_.resize(vertices);
+    in_.resize(vertices);
+    queued_.resize(vertices, false);
+
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      add_edge(vertex_in(v), vertex_out(v), leaf(v));
+      if (g.in_degree(v) == 0) add_edge(source_, vertex_in(v), junction());
+      if (g.out_degree(v) == 0) add_edge(vertex_out(v), sink_, junction());
+    }
+    for (const Edge& e : g.edges())
+      add_edge(vertex_out(e.from), vertex_in(e.to), junction());
+  }
+
+  std::optional<SpTree> run() {
+    // Seed the worklist with every split vertex.
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      push(vertex_in(v));
+      push(vertex_out(v));
+    }
+    while (!worklist_.empty()) {
+      const std::size_t x = worklist_.back();
+      worklist_.pop_back();
+      queued_[x] = false;
+      try_series(x);
+    }
+
+    // Success iff a single alive edge source -> sink remains.
+    std::size_t alive = 0;
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      if (edges_[i].alive) {
+        ++alive;
+        last = i;
+      }
+    }
+    if (alive != 1 || edges_[last].from != source_ || edges_[last].to != sink_)
+      return std::nullopt;
+
+    tree_.root = edges_[last].payload;
+    return std::move(tree_);
+  }
+
+ private:
+  [[nodiscard]] std::size_t vertex_in(NodeId v) const { return 2 * v; }
+  [[nodiscard]] std::size_t vertex_out(NodeId v) const { return 2 * v + 1; }
+
+  std::size_t leaf(NodeId task) {
+    tree_.nodes.push_back({SpKind::kLeaf, task, {}});
+    return tree_.nodes.size() - 1;
+  }
+
+  std::size_t junction() { return leaf(kNoNode); }
+
+  [[nodiscard]] bool is_junction(std::size_t node) const {
+    return tree_.nodes[node].kind == SpKind::kLeaf &&
+           tree_.nodes[node].task == kNoNode;
+  }
+
+  /// Flattens `node` into `out` if it has kind `kind`, else appends it.
+  void flatten_into(std::size_t node, SpKind kind, std::vector<std::size_t>& out) {
+    if (tree_.nodes[node].kind == kind) {
+      for (std::size_t c : tree_.nodes[node].children) out.push_back(c);
+    } else {
+      out.push_back(node);
+    }
+  }
+
+  /// Builds a composition of `a` and `b`, flattening nested same-kind nodes
+  /// and pruning structural junction leaves (they carry zero weight and no
+  /// task). Returns a single node index.
+  std::size_t compose(SpKind kind, std::size_t a, std::size_t b) {
+    std::vector<std::size_t> children;
+    flatten_into(a, kind, children);
+    flatten_into(b, kind, children);
+
+    std::vector<std::size_t> pruned;
+    pruned.reserve(children.size());
+    for (std::size_t c : children)
+      if (!is_junction(c)) pruned.push_back(c);
+
+    if (pruned.empty()) return children.front();  // all-junction composition
+    if (pruned.size() == 1) return pruned.front();
+    tree_.nodes.push_back({kind, kNoNode, std::move(pruned)});
+    return tree_.nodes.size() - 1;
+  }
+
+  std::size_t add_edge(std::size_t from, std::size_t to, std::size_t payload) {
+    edges_.push_back({from, to, payload, true});
+    const std::size_t id = edges_.size() - 1;
+    out_[from].push_back(id);
+    in_[to].push_back(id);
+    return id;
+  }
+
+  void compact(std::vector<std::size_t>& list) const {
+    std::erase_if(list, [&](std::size_t e) { return !edges_[e].alive; });
+  }
+
+  void push(std::size_t vertex) {
+    if (vertex == source_ || vertex == sink_) return;
+    if (queued_[vertex]) return;
+    queued_[vertex] = true;
+    worklist_.push_back(vertex);
+  }
+
+  /// Merges duplicate edges between (a, b) into parallel compositions.
+  void merge_parallels(std::size_t a, std::size_t b) {
+    compact(out_[a]);
+    for (;;) {
+      std::size_t first = edges_.size();
+      bool merged = false;
+      for (std::size_t e : out_[a]) {
+        if (!edges_[e].alive || edges_[e].to != b) continue;
+        if (first == edges_.size()) {
+          first = e;
+        } else {
+          edges_[first].payload =
+              compose(SpKind::kParallel, edges_[first].payload, edges_[e].payload);
+          edges_[e].alive = false;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) break;
+      compact(out_[a]);
+    }
+    compact(in_[b]);
+  }
+
+  /// Attempts the series reduction at split vertex x (in-degree 1 and
+  /// out-degree 1); cascades parallel merges and requeues the endpoints.
+  void try_series(std::size_t x) {
+    compact(in_[x]);
+    compact(out_[x]);
+    if (in_[x].size() != 1 || out_[x].size() != 1) return;
+
+    const std::size_t e_in = in_[x].front();
+    const std::size_t e_out = out_[x].front();
+    const std::size_t a = edges_[e_in].from;
+    const std::size_t b = edges_[e_out].to;
+
+    const std::size_t payload =
+        compose(SpKind::kSeries, edges_[e_in].payload, edges_[e_out].payload);
+    edges_[e_in].alive = false;
+    edges_[e_out].alive = false;
+    in_[x].clear();
+    out_[x].clear();
+    add_edge(a, b, payload);
+
+    merge_parallels(a, b);
+    push(a);
+    push(b);
+  }
+
+  const Digraph& graph_;
+  std::size_t source_;
+  std::size_t sink_;
+  std::vector<REdge> edges_;
+  std::vector<std::vector<std::size_t>> out_;
+  std::vector<std::vector<std::size_t>> in_;
+  std::vector<std::size_t> worklist_;
+  std::vector<bool> queued_;
+  SpTree tree_;
+};
+
+}  // namespace
+
+std::size_t SpTree::task_leaves(std::size_t node) const {
+  const Node& n = nodes[node];
+  if (n.kind == SpKind::kLeaf) return n.task == kNoNode ? 0 : 1;
+  std::size_t total = 0;
+  for (std::size_t c : n.children) total += task_leaves(c);
+  return total;
+}
+
+std::optional<SpTree> sp_decompose(const Digraph& g) {
+  util::require(g.num_nodes() > 0, "sp_decompose of an empty graph");
+  util::require(is_acyclic(g), "sp_decompose requires a DAG");
+  Reducer reducer(g);
+  return reducer.run();
+}
+
+bool is_series_parallel(const Digraph& g) { return sp_decompose(g).has_value(); }
+
+}  // namespace reclaim::graph

@@ -1,0 +1,57 @@
+// Series-parallel recognition and decomposition.
+//
+// Theorem 2 of the paper gives a polynomial-time MinEnergy algorithm for
+// series-parallel execution graphs. The solver consumes the decomposition
+// tree produced here.
+//
+// Recognized class: DAGs whose node-split derivation is two-terminal
+// series-parallel. Every task v is split into an edge v_in -> v_out carrying
+// the task; precedence edges become zero-weight junction edges; a virtual
+// source/sink pair ties all graph sources and sinks together (all sources
+// start at time 0 and all sinks share the deadline D, so this augmentation
+// is semantically exact for MinEnergy). The classic series/parallel
+// reduction then either contracts the multigraph to a single edge (and the
+// merge history is the decomposition tree) or proves the graph is not
+// series-parallel.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace reclaim::graph {
+
+enum class SpKind { kLeaf, kSeries, kParallel };
+
+/// Decomposition tree of a series-parallel execution graph.
+///
+/// Leaves reference tasks of the original graph; kNoNode leaves are
+/// structural junctions contributed by precedence edges (zero weight; they
+/// are pruned whenever a composition has at least one task-bearing child).
+/// Series children are ordered by execution order.
+struct SpTree {
+  struct Node {
+    SpKind kind = SpKind::kLeaf;
+    NodeId task = kNoNode;               ///< leaf payload
+    std::vector<std::size_t> children;   ///< series/parallel payload
+  };
+
+  std::vector<Node> nodes;
+  std::size_t root = 0;
+
+  [[nodiscard]] const Node& operator[](std::size_t i) const { return nodes[i]; }
+
+  /// Number of task-bearing leaves in the subtree under `node`.
+  [[nodiscard]] std::size_t task_leaves(std::size_t node) const;
+};
+
+/// Decomposes `g`; std::nullopt when `g` is not series-parallel in the
+/// sense above. Requires a DAG with at least one node.
+[[nodiscard]] std::optional<SpTree> sp_decompose(const Digraph& g);
+
+/// Convenience: true when sp_decompose succeeds.
+[[nodiscard]] bool is_series_parallel(const Digraph& g);
+
+}  // namespace reclaim::graph

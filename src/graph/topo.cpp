@@ -1,0 +1,157 @@
+#include "graph/topo.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace reclaim::graph {
+
+std::optional<std::vector<NodeId>> topological_order(const Digraph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::size_t> indeg(n);
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    indeg[v] = g.in_degree(v);
+    if (indeg[v] == 0) ready.push(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (NodeId s : g.successors(v)) {
+      if (--indeg[s] == 0) ready.push(s);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool is_acyclic(const Digraph& g) { return topological_order(g).has_value(); }
+
+namespace {
+
+std::vector<NodeId> require_order(const Digraph& g) {
+  auto order = topological_order(g);
+  util::require(order.has_value(), "graph must be acyclic");
+  return *std::move(order);
+}
+
+}  // namespace
+
+std::vector<double> longest_path_to(const Digraph& g) {
+  const auto order = require_order(g);
+  std::vector<double> dist(g.num_nodes(), 0.0);
+  for (NodeId v : order) {
+    double best = 0.0;
+    for (NodeId p : g.predecessors(v)) best = std::max(best, dist[p]);
+    dist[v] = best + g.weight(v);
+  }
+  return dist;
+}
+
+std::vector<double> longest_path_from(const Digraph& g) {
+  const auto order = require_order(g);
+  std::vector<double> dist(g.num_nodes(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    double best = 0.0;
+    for (NodeId s : g.successors(v)) best = std::max(best, dist[s]);
+    dist[v] = best + g.weight(v);
+  }
+  return dist;
+}
+
+CriticalPath critical_path(const Digraph& g) {
+  util::require(g.num_nodes() > 0, "critical_path of an empty graph");
+  const auto order = require_order(g);
+  std::vector<double> dist(g.num_nodes(), 0.0);
+  std::vector<NodeId> parent(g.num_nodes(), kNoNode);
+  for (NodeId v : order) {
+    double best = 0.0;
+    NodeId arg = kNoNode;
+    for (NodeId p : g.predecessors(v)) {
+      if (dist[p] > best) {
+        best = dist[p];
+        arg = p;
+      }
+    }
+    dist[v] = best + g.weight(v);
+    parent[v] = arg;
+  }
+  NodeId tail = 0;
+  for (NodeId v = 1; v < g.num_nodes(); ++v)
+    if (dist[v] > dist[tail]) tail = v;
+
+  CriticalPath cp;
+  cp.length = dist[tail];
+  for (NodeId v = tail; v != kNoNode; v = parent[v]) cp.nodes.push_back(v);
+  std::reverse(cp.nodes.begin(), cp.nodes.end());
+  return cp;
+}
+
+std::vector<std::vector<bool>> transitive_closure(const Digraph& g) {
+  const auto order = require_order(g);
+  const std::size_t n = g.num_nodes();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  // Sweep in reverse topological order: reach[v] = union of successor sets.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    for (NodeId s : g.successors(v)) {
+      reach[v][s] = true;
+      const auto& rs = reach[s];
+      auto& rv = reach[v];
+      for (std::size_t j = 0; j < n; ++j)
+        if (rs[j]) rv[j] = true;
+    }
+  }
+  return reach;
+}
+
+Digraph transitive_reduction(const Digraph& g) {
+  const auto reach = transitive_closure(g);
+  Digraph out(0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId id = out.add_node(g.weight(v), g.name(v));
+    (void)id;
+  }
+  for (const Edge& e : g.edges()) {
+    // Drop u -> v when some other successor of u already reaches v.
+    bool implied = false;
+    for (NodeId s : g.successors(e.from)) {
+      if (s != e.to && reach[s][e.to]) {
+        implied = true;
+        break;
+      }
+    }
+    if (!implied) out.add_edge(e.from, e.to);
+  }
+  return out;
+}
+
+bool is_weakly_connected(const Digraph& g) {
+  const std::size_t n = g.num_nodes();
+  if (n <= 1) return true;
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    auto visit = [&](NodeId u) {
+      if (!seen[u]) {
+        seen[u] = true;
+        ++visited;
+        stack.push_back(u);
+      }
+    };
+    for (NodeId s : g.successors(v)) visit(s);
+    for (NodeId p : g.predecessors(v)) visit(p);
+  }
+  return visited == n;
+}
+
+}  // namespace reclaim::graph

@@ -1,0 +1,45 @@
+// Topological algorithms on DAGs: ordering, cycle detection, critical
+// paths, levels, and transitive reduction/closure.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace reclaim::graph {
+
+/// Kahn topological order, smallest node id first among ready nodes
+/// (canonical and deterministic). Empty optional when the graph is cyclic.
+[[nodiscard]] std::optional<std::vector<NodeId>> topological_order(const Digraph& g);
+
+[[nodiscard]] bool is_acyclic(const Digraph& g);
+
+/// For each node, the heaviest weight of any path ending at it, including
+/// its own weight ("top level + w"). Requires a DAG.
+[[nodiscard]] std::vector<double> longest_path_to(const Digraph& g);
+
+/// For each node, the heaviest weight of any path starting at it, including
+/// its own weight ("bottom level"). Requires a DAG.
+[[nodiscard]] std::vector<double> longest_path_from(const Digraph& g);
+
+struct CriticalPath {
+  double length = 0.0;           ///< total weight along the heaviest path
+  std::vector<NodeId> nodes;     ///< the path itself, source to sink
+};
+
+/// Heaviest-weight source-to-sink path. Requires a DAG with >= 1 node.
+[[nodiscard]] CriticalPath critical_path(const Digraph& g);
+
+/// Reachability closure as one bit-vector per node (reach[u][v] == true iff
+/// a nonempty path u -> v exists). O(n * m / 64) via bitset sweeps.
+[[nodiscard]] std::vector<std::vector<bool>> transitive_closure(const Digraph& g);
+
+/// Copy of `g` with every transitively implied edge removed. Requires a DAG.
+[[nodiscard]] Digraph transitive_reduction(const Digraph& g);
+
+/// True if every node is connected to every other in the underlying
+/// undirected graph (vacuously true for empty graphs).
+[[nodiscard]] bool is_weakly_connected(const Digraph& g);
+
+}  // namespace reclaim::graph

@@ -1,0 +1,166 @@
+#include "io/graph_io.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace reclaim::io {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw InvalidArgument("line " + std::to_string(line) + ": " + message);
+}
+
+/// Splits a line into tokens, dropping '#' comments.
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    if (token.front() == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+double parse_weight(const std::string& token, std::size_t line) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    fail(line, "bad weight '" + token + "'");
+  }
+  if (consumed != token.size()) fail(line, "bad weight '" + token + "'");
+  if (value < 0.0) fail(line, "negative weight");
+  return value;
+}
+
+std::string display_name(const graph::Digraph& g, graph::NodeId v) {
+  return g.name(v).empty() ? "T" + std::to_string(v) : g.name(v);
+}
+
+}  // namespace
+
+graph::Digraph read_task_graph(std::istream& in) {
+  graph::Digraph g;
+  std::map<std::string, graph::NodeId> by_name;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto tokens = tokens_of(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "task") {
+      if (tokens.size() != 3) fail(line_number, "expected: task <name> <weight>");
+      if (by_name.count(tokens[1])) fail(line_number, "duplicate task '" + tokens[1] + "'");
+      const double weight = parse_weight(tokens[2], line_number);
+      by_name[tokens[1]] = g.add_node(weight, tokens[1]);
+    } else if (tokens[0] == "edge") {
+      if (tokens.size() != 3) fail(line_number, "expected: edge <from> <to>");
+      const auto from = by_name.find(tokens[1]);
+      const auto to = by_name.find(tokens[2]);
+      if (from == by_name.end()) fail(line_number, "unknown task '" + tokens[1] + "'");
+      if (to == by_name.end()) fail(line_number, "unknown task '" + tokens[2] + "'");
+      try {
+        g.add_edge(from->second, to->second);
+      } catch (const InvalidArgument& e) {
+        fail(line_number, e.what());
+      }
+    } else {
+      fail(line_number, "unknown directive '" + tokens[0] + "'");
+    }
+  }
+  return g;
+}
+
+graph::Digraph read_task_graph_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_task_graph(is);
+}
+
+void write_task_graph(std::ostream& out, const graph::Digraph& g) {
+  // Full round-trip precision for the weights.
+  const auto saved = out.precision(std::numeric_limits<double>::max_digits10);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    out << "task " << display_name(g, v) << ' ' << g.weight(v) << '\n';
+  }
+  out.precision(saved);
+  for (const graph::Edge& e : g.edges()) {
+    out << "edge " << display_name(g, e.from) << ' ' << display_name(g, e.to)
+        << '\n';
+  }
+}
+
+sched::Mapping read_mapping(std::istream& in, const graph::Digraph& g) {
+  std::map<std::string, graph::NodeId> by_name;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v)
+    by_name[display_name(g, v)] = v;
+
+  std::vector<std::vector<graph::NodeId>> lists;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto tokens = tokens_of(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] != "proc") fail(line_number, "expected: proc <tasks...>");
+    std::vector<graph::NodeId> list;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const auto it = by_name.find(tokens[i]);
+      if (it == by_name.end())
+        fail(line_number, "unknown task '" + tokens[i] + "'");
+      list.push_back(it->second);
+    }
+    lists.push_back(std::move(list));
+  }
+  util::require(!lists.empty(), "mapping has no processors");
+  return sched::Mapping(std::move(lists));
+}
+
+sched::Mapping read_mapping_from_string(const std::string& text,
+                                        const graph::Digraph& g) {
+  std::istringstream is(text);
+  return read_mapping(is, g);
+}
+
+void write_mapping(std::ostream& out, const sched::Mapping& mapping,
+                   const graph::Digraph& g) {
+  for (std::size_t p = 0; p < mapping.num_processors(); ++p) {
+    out << "proc";
+    for (graph::NodeId v : mapping.tasks_on(p)) out << ' ' << display_name(g, v);
+    out << '\n';
+  }
+}
+
+void write_solution(std::ostream& out, const core::Instance& instance,
+                    const core::Solution& solution) {
+  if (!solution.feasible) {
+    out << "infeasible\n";
+    return;
+  }
+  const auto& g = instance.exec_graph;
+  if (solution.uses_profiles()) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      out << display_name(g, v);
+      for (const auto& segment : solution.profiles[v].segments)
+        out << ' ' << segment.speed << 'x' << segment.duration;
+      out << ' ' << solution.profiles[v].energy(instance.power) << '\n';
+    }
+  } else {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      out << display_name(g, v) << ' ' << solution.speeds[v] << ' '
+          << instance.power.task_energy(g.weight(v), solution.speeds[v])
+          << '\n';
+    }
+  }
+  out << "total " << solution.energy << '\n';
+}
+
+}  // namespace reclaim::io

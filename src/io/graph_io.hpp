@@ -1,0 +1,51 @@
+// Plain-text serialization for task graphs, mappings and solutions, so
+// downstream users can drive the solvers without writing C++ (see
+// tools/reclaim_cli).
+//
+// Task-graph format (one directive per line, '#' comments):
+//
+//   task <name> <weight>
+//   edge <from-name> <to-name>
+//
+// Mapping format (processor lists in execution order):
+//
+//   proc <task-name> <task-name> ...
+//
+// Names are unique non-empty tokens without whitespace. Node ids are
+// assigned in `task` declaration order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/problem.hpp"
+#include "graph/digraph.hpp"
+#include "sched/mapping.hpp"
+
+namespace reclaim::io {
+
+/// Parses the task-graph format. Throws InvalidArgument with a line number
+/// on malformed input (unknown directive, duplicate name, bad weight,
+/// unknown endpoint, duplicate edge).
+[[nodiscard]] graph::Digraph read_task_graph(std::istream& in);
+[[nodiscard]] graph::Digraph read_task_graph_from_string(const std::string& text);
+
+/// Writes the same format back (tasks in id order, then edges).
+void write_task_graph(std::ostream& out, const graph::Digraph& g);
+
+/// Parses a mapping against `g` (task names must exist). Completeness is
+/// *not* enforced here — build_execution_graph validates it.
+[[nodiscard]] sched::Mapping read_mapping(std::istream& in,
+                                          const graph::Digraph& g);
+[[nodiscard]] sched::Mapping read_mapping_from_string(const std::string& text,
+                                                      const graph::Digraph& g);
+
+void write_mapping(std::ostream& out, const sched::Mapping& mapping,
+                   const graph::Digraph& g);
+
+/// Writes a solution as "<task> <speed> <energy>" rows (or per-segment
+/// rows for Vdd profiles), followed by a "total <energy>" line.
+void write_solution(std::ostream& out, const core::Instance& instance,
+                    const core::Solution& solution);
+
+}  // namespace reclaim::io

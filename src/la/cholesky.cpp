@@ -1,0 +1,61 @@
+#include "la/cholesky.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace reclaim::la {
+
+Cholesky::Cholesky(const Matrix& a, double jitter) : l_(a.rows(), a.cols()) {
+  util::require(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+
+  // Left-looking factorization; only the lower triangle of `a` is read.
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    const double* lj = l_.row(j);
+    for (std::size_t k = 0; k < j; ++k) diag -= lj[k] * lj[k];
+    if (diag <= jitter) {
+      util::require_numeric(jitter > 0.0,
+                            "Cholesky: matrix is not positive definite");
+      diag = jitter;
+    }
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      const double* li = l_.row(i);
+      for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
+      l_(i, j) = s / ljj;
+    }
+  }
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  const std::size_t n = l_.rows();
+  util::require(b.size() == n, "Cholesky::solve: dimension mismatch");
+
+  Vector y(b);
+  // Forward substitution: L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = l_.row(i);
+    double s = y[i];
+    for (std::size_t k = 0; k < i; ++k) s -= li[k] * y[k];
+    y[i] = s / li[i];
+  }
+  // Backward substitution: L^T x = y.
+  for (std::size_t i = n; i-- > 0;) {
+    double s = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= l_(k, i) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  return y;
+}
+
+double Cholesky::log_det() const noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+}  // namespace reclaim::la

@@ -1,0 +1,75 @@
+#include "la/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace reclaim::la {
+
+Lu::Lu(const Matrix& a) : lu_(a), perm_(a.rows()) {
+  util::require(a.rows() == a.cols(), "Lu requires a square matrix");
+  const std::size_t n = a.rows();
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: largest magnitude in column k at/below the diagonal.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double cand = std::abs(lu_(i, k));
+      if (cand > best) {
+        best = cand;
+        pivot = i;
+      }
+    }
+    util::require_numeric(best > 1e-300, "Lu: singular matrix");
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[k], perm_[pivot]);
+      sign_ = -sign_;
+    }
+    const double pivot_value = lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = lu_(i, k) / pivot_value;
+      lu_(i, k) = factor;
+      if (factor == 0.0) continue;
+      const double* rk = lu_.row(k);
+      double* ri = lu_.row(i);
+      for (std::size_t c = k + 1; c < n; ++c) ri[c] -= factor * rk[c];
+    }
+  }
+}
+
+Vector Lu::solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  util::require(b.size() == n, "Lu::solve: dimension mismatch");
+
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+
+  // Forward substitution with unit-lower L.
+  for (std::size_t i = 1; i < n; ++i) {
+    const double* ri = lu_.row(i);
+    double s = x[i];
+    for (std::size_t k = 0; k < i; ++k) s -= ri[k] * x[k];
+    x[i] = s;
+  }
+  // Backward substitution with U.
+  for (std::size_t i = n; i-- > 0;) {
+    const double* ri = lu_.row(i);
+    double s = x[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= ri[k] * x[k];
+    x[i] = s / ri[i];
+  }
+  return x;
+}
+
+double Lu::det() const noexcept {
+  double d = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+}  // namespace reclaim::la

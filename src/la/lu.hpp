@@ -1,0 +1,29 @@
+// LU factorization with partial pivoting for general square systems.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace reclaim::la {
+
+class Lu {
+ public:
+  /// Factorizes `a` with partial pivoting. Throws NumericalError if a is
+  /// singular to working precision.
+  explicit Lu(const Matrix& a);
+
+  /// Solves A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Determinant of A (product of pivots, sign-adjusted).
+  [[nodiscard]] double det() const noexcept;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int sign_ = 1;
+};
+
+}  // namespace reclaim::la

@@ -1,0 +1,103 @@
+#include "la/matrix.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace reclaim::la {
+
+using util::require;
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void Matrix::fill(double value) {
+  for (auto& x : data_) x = value;
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+  require(x.size() == cols_, "Matrix::multiply: dimension mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += a[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector Matrix::multiply_transposed(const Vector& x) const {
+  require(x.size() == rows_, "Matrix::multiply_transposed: dimension mismatch");
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = row(r);
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += a[c] * xr;
+  }
+  return y;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  require(cols_ == other.rows_, "Matrix::multiply: dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = other.row(k);
+      double* orow = out.row(i);
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+double Matrix::max_abs() const noexcept {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  require(a.size() == b.size(), "dot: dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
+
+double norm_inf(const Vector& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  require(x.size() == y.size(), "axpy: dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(Vector& v, double alpha) {
+  for (auto& x : v) x *= alpha;
+}
+
+}  // namespace reclaim::la

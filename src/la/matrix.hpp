@@ -1,0 +1,78 @@
+// Dense row-major matrix and BLAS-1/2 style helpers.
+//
+// The optimization substrate needs only a modest dense toolkit: symmetric
+// positive-definite solves for interior-point Newton steps and pivoted LU
+// for general systems. Everything is self-contained (no external BLAS).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace reclaim::la {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+  /// rows x cols matrix filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, double value);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw contiguous row pointer (row-major storage).
+  [[nodiscard]] double* row(std::size_t r) noexcept { return data_.data() + r * cols_; }
+  [[nodiscard]] const double* row(std::size_t r) const noexcept {
+    return data_.data() + r * cols_;
+  }
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  void fill(double value);
+
+  /// y = A x. Requires x.size() == cols(). Result has rows() entries.
+  [[nodiscard]] Vector multiply(const Vector& x) const;
+
+  /// y = A^T x. Requires x.size() == rows(). Result has cols() entries.
+  [[nodiscard]] Vector multiply_transposed(const Vector& x) const;
+
+  /// C = A B.
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Max-abs element (used for scale estimates and test tolerances).
+  [[nodiscard]] double max_abs() const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dot product; requires equal sizes.
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(const Vector& v);
+
+/// Infinity norm.
+[[nodiscard]] double norm_inf(const Vector& v);
+
+/// y += alpha * x (in place); requires equal sizes.
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// Element-wise scale: v *= alpha.
+void scale(Vector& v, double alpha);
+
+}  // namespace reclaim::la

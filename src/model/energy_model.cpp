@@ -1,0 +1,77 @@
+#include "model/energy_model.hpp"
+
+#include "util/error.hpp"
+
+namespace reclaim::model {
+
+namespace {
+
+template <class... Fs>
+struct Overload : Fs... {
+  using Fs::operator()...;
+};
+template <class... Fs>
+Overload(Fs...) -> Overload<Fs...>;
+
+}  // namespace
+
+double max_speed(const EnergyModel& model) {
+  return std::visit(
+      Overload{
+          [](const ContinuousModel& m) { return m.s_max; },
+          [](const DiscreteModel& m) { return m.modes.max_speed(); },
+          [](const VddHoppingModel& m) { return m.modes.max_speed(); },
+          [](const IncrementalModel& m) { return m.modes.max_speed(); },
+      },
+      model);
+}
+
+double min_speed(const EnergyModel& model) {
+  return std::visit(
+      Overload{
+          [](const ContinuousModel&) { return 0.0; },
+          [](const DiscreteModel& m) { return m.modes.min_speed(); },
+          [](const VddHoppingModel& m) { return m.modes.min_speed(); },
+          [](const IncrementalModel& m) { return m.modes.min_speed(); },
+      },
+      model);
+}
+
+const ModeSet& modes_of(const EnergyModel& model) {
+  const ModeSet* modes = std::visit(
+      Overload{
+          [](const ContinuousModel&) -> const ModeSet* { return nullptr; },
+          [](const DiscreteModel& m) { return &m.modes; },
+          [](const VddHoppingModel& m) { return &m.modes; },
+          [](const IncrementalModel& m) { return &m.modes; },
+      },
+      model);
+  util::require(modes != nullptr, "the Continuous model has no mode set");
+  return *modes;
+}
+
+bool is_admissible_speed(const EnergyModel& model, double s, double rel_tol) {
+  return std::visit(
+      Overload{
+          [&](const ContinuousModel& m) {
+            return s >= 0.0 && s <= m.s_max * (1.0 + rel_tol);
+          },
+          [&](const DiscreteModel& m) { return m.modes.contains(s, rel_tol); },
+          [&](const VddHoppingModel& m) { return m.modes.contains(s, rel_tol); },
+          [&](const IncrementalModel& m) { return m.modes.contains(s, rel_tol); },
+      },
+      model);
+}
+
+std::string model_name(const EnergyModel& model) {
+  return std::visit(
+      Overload{
+          [](const ContinuousModel&) { return std::string("Continuous"); },
+          [](const DiscreteModel&) { return std::string("Discrete"); },
+          [](const VddHoppingModel&) { return std::string("Vdd-Hopping"); },
+          [](const IncrementalModel&) { return std::string("Incremental"); },
+      },
+      model);
+}
+
+}  // namespace reclaim::model

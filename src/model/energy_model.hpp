@@ -1,0 +1,62 @@
+// The four energy models of the paper as a closed variant.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <variant>
+
+#include "model/speed_set.hpp"
+
+namespace reclaim::model {
+
+/// Continuous: any speed in [0, s_max], constant per task (the paper's
+/// theoretical reference model).
+struct ContinuousModel {
+  double s_max = std::numeric_limits<double>::infinity();
+};
+
+/// Discrete: arbitrary modes, one constant mode per task.
+struct DiscreteModel {
+  ModeSet modes;
+};
+
+/// Vdd-Hopping: same modes as Discrete, but the speed may change during a
+/// task; a task's execution is a list of (mode, duration) segments.
+struct VddHoppingModel {
+  ModeSet modes;
+};
+
+/// Incremental: regularly spaced modes s_min + i*delta in [s_min, s_max],
+/// one constant mode per task.
+struct IncrementalModel {
+  IncrementalModel(double s_min_, double s_max_, double delta_)
+      : s_min(s_min_), s_max(s_max_), delta(delta_),
+        modes(ModeSet::incremental(s_min_, s_max_, delta_)) {}
+
+  double s_min;
+  double s_max;
+  double delta;
+  ModeSet modes;
+};
+
+using EnergyModel =
+    std::variant<ContinuousModel, DiscreteModel, VddHoppingModel, IncrementalModel>;
+
+/// Fastest admissible speed of the model.
+[[nodiscard]] double max_speed(const EnergyModel& model);
+
+/// Slowest admissible speed of the model (0 for Continuous).
+[[nodiscard]] double min_speed(const EnergyModel& model);
+
+/// The mode set of a mode-based model; throws InvalidArgument for Continuous.
+[[nodiscard]] const ModeSet& modes_of(const EnergyModel& model);
+
+/// True when a constant per-task speed `s` is admissible under `model`.
+/// (For VddHopping this checks membership in the mode set; admissibility of
+/// full profiles is checked by sched::validate_profiles.)
+[[nodiscard]] bool is_admissible_speed(const EnergyModel& model, double s,
+                                       double rel_tol = 1e-9);
+
+[[nodiscard]] std::string model_name(const EnergyModel& model);
+
+}  // namespace reclaim::model

@@ -1,0 +1,44 @@
+#include "model/power.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace reclaim::model {
+
+PowerLaw::PowerLaw(double alpha) : alpha_(alpha) {
+  util::require(alpha > 1.0, "power exponent alpha must exceed 1");
+}
+
+double PowerLaw::power(double speed) const {
+  util::require(speed >= 0.0, "speed must be non-negative");
+  return std::pow(speed, alpha_);
+}
+
+double PowerLaw::energy(double speed, double duration) const {
+  util::require(duration >= 0.0, "duration must be non-negative");
+  return power(speed) * duration;
+}
+
+double PowerLaw::task_energy(double weight, double speed) const {
+  util::require(weight >= 0.0, "weight must be non-negative");
+  if (weight == 0.0) return 0.0;
+  util::require(speed > 0.0, "positive-weight task requires positive speed");
+  return weight * std::pow(speed, alpha_ - 1.0);
+}
+
+double PowerLaw::window_energy(double weight, double window) const {
+  util::require(weight >= 0.0, "weight must be non-negative");
+  if (weight == 0.0) return 0.0;
+  util::require(window > 0.0, "positive-weight task requires a positive window");
+  return std::pow(weight, alpha_) / std::pow(window, alpha_ - 1.0);
+}
+
+double PowerLaw::parallel_compose(double w1, double w2) const {
+  util::require(w1 >= 0.0 && w2 >= 0.0, "weights must be non-negative");
+  if (w1 == 0.0) return w2;
+  if (w2 == 0.0) return w1;
+  return std::pow(std::pow(w1, alpha_) + std::pow(w2, alpha_), 1.0 / alpha_);
+}
+
+}  // namespace reclaim::model

@@ -1,0 +1,43 @@
+// The dynamic power law of the paper: a processor at speed s dissipates
+// s^alpha watts (alpha = 3 in the paper, after [Chandrakasan-Sinha'01,
+// Ishihara-Yasuura'98]); running task weight w at constant speed s for
+// duration d = w/s therefore costs w * s^(alpha-1) joules.
+//
+// Everything downstream is parameterized by alpha > 1 so the library also
+// covers the alpha in (1, 3] range used elsewhere in the speed-scaling
+// literature (e.g. Bansal-Kimbrel-Pruhs).
+#pragma once
+
+namespace reclaim::model {
+
+class PowerLaw {
+ public:
+  /// alpha must be > 1 (strict convexity of the energy/duration tradeoff).
+  explicit PowerLaw(double alpha = 3.0);
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+  /// Instantaneous power at speed s: s^alpha.
+  [[nodiscard]] double power(double speed) const;
+
+  /// Energy of running at speed s for duration d: s^alpha * d.
+  [[nodiscard]] double energy(double speed, double duration) const;
+
+  /// Energy of executing weight w at constant speed s: w * s^(alpha-1).
+  /// Zero-weight tasks cost nothing regardless of speed.
+  [[nodiscard]] double task_energy(double weight, double speed) const;
+
+  /// Energy of executing weight w inside a window of length d at the
+  /// constant speed w/d: w^alpha / d^(alpha-1). Requires d > 0 unless w == 0.
+  [[nodiscard]] double window_energy(double weight, double window) const;
+
+  /// Equivalent weight of parallel composition: the l_alpha norm
+  /// (w1^alpha + w2^alpha)^(1/alpha); see DESIGN.md. Series composition is
+  /// plain addition and needs no helper.
+  [[nodiscard]] double parallel_compose(double w1, double w2) const;
+
+ private:
+  double alpha_;
+};
+
+}  // namespace reclaim::model

@@ -1,0 +1,72 @@
+#include "model/speed_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace reclaim::model {
+
+using util::require;
+
+ModeSet::ModeSet(std::vector<double> speeds) : speeds_(std::move(speeds)) {
+  require(!speeds_.empty(), "a mode set requires at least one speed");
+  for (double s : speeds_) require(s > 0.0, "modes must be strictly positive");
+  std::sort(speeds_.begin(), speeds_.end());
+  // Deduplicate within relative tolerance.
+  std::vector<double> unique;
+  unique.reserve(speeds_.size());
+  for (double s : speeds_) {
+    if (unique.empty() || s > unique.back() * (1.0 + 1e-12)) unique.push_back(s);
+  }
+  speeds_ = std::move(unique);
+}
+
+ModeSet ModeSet::incremental(double s_min, double s_max, double delta) {
+  require(s_min > 0.0, "s_min must be positive");
+  require(s_max >= s_min, "s_max must be >= s_min");
+  require(delta > 0.0, "delta must be positive");
+  std::vector<double> speeds;
+  const auto count =
+      static_cast<std::size_t>(std::floor((s_max - s_min) / delta + 1e-12)) + 1;
+  speeds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    speeds.push_back(s_min + static_cast<double>(i) * delta);
+  return ModeSet(std::move(speeds));
+}
+
+double ModeSet::speed(std::size_t i) const {
+  require(i < speeds_.size(), "mode index out of range");
+  return speeds_[i];
+}
+
+std::optional<std::size_t> ModeSet::index_at_or_above(double s,
+                                                      double rel_tol) const {
+  const double needle = s * (1.0 - rel_tol);
+  const auto it = std::lower_bound(speeds_.begin(), speeds_.end(), needle);
+  if (it == speeds_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - speeds_.begin());
+}
+
+std::optional<std::size_t> ModeSet::index_at_or_below(double s,
+                                                      double rel_tol) const {
+  const double needle = s * (1.0 + rel_tol);
+  auto it = std::upper_bound(speeds_.begin(), speeds_.end(), needle);
+  if (it == speeds_.begin()) return std::nullopt;
+  return static_cast<std::size_t>(it - speeds_.begin()) - 1;
+}
+
+bool ModeSet::contains(double s, double rel_tol) const {
+  const auto below = index_at_or_below(s, rel_tol);
+  if (!below) return false;
+  return std::abs(speeds_[*below] - s) <= rel_tol * std::max(1.0, std::abs(s));
+}
+
+double ModeSet::max_gap() const noexcept {
+  double gap = 0.0;
+  for (std::size_t i = 1; i < speeds_.size(); ++i)
+    gap = std::max(gap, speeds_[i] - speeds_[i - 1]);
+  return gap;
+}
+
+}  // namespace reclaim::model

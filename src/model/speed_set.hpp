@@ -1,0 +1,55 @@
+// Discrete speed mode sets.
+//
+// The Discrete and Vdd-Hopping models run on an arbitrary sorted set of
+// modes s_1 < ... < s_m; the Incremental model spaces them regularly,
+// s = s_min + i * delta ("the modern counterpart of a potentiometer knob",
+// as the paper puts it).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace reclaim::model {
+
+class ModeSet {
+ public:
+  /// Takes arbitrary positive speeds; they are sorted and deduplicated.
+  /// At least one mode is required.
+  explicit ModeSet(std::vector<double> speeds);
+
+  /// Incremental modes: s_min + i*delta for 0 <= i <= (s_max-s_min)/delta.
+  /// Requires 0 < s_min <= s_max and delta > 0. The top mode is the largest
+  /// grid point <= s_max (the paper's definition).
+  [[nodiscard]] static ModeSet incremental(double s_min, double s_max, double delta);
+
+  [[nodiscard]] std::size_t size() const noexcept { return speeds_.size(); }
+  [[nodiscard]] double speed(std::size_t i) const;
+  [[nodiscard]] const std::vector<double>& speeds() const noexcept { return speeds_; }
+
+  [[nodiscard]] double min_speed() const noexcept { return speeds_.front(); }
+  [[nodiscard]] double max_speed() const noexcept { return speeds_.back(); }
+
+  /// Index of the smallest mode >= s (within relative tolerance `rel_tol`
+  /// to absorb numerical noise from upstream solvers); nullopt when s
+  /// exceeds the fastest mode.
+  [[nodiscard]] std::optional<std::size_t> index_at_or_above(
+      double s, double rel_tol = 1e-9) const;
+
+  /// Index of the largest mode <= s (within tolerance); nullopt when s is
+  /// below the slowest mode.
+  [[nodiscard]] std::optional<std::size_t> index_at_or_below(
+      double s, double rel_tol = 1e-9) const;
+
+  /// True when `s` coincides with a mode (within relative tolerance).
+  [[nodiscard]] bool contains(double s, double rel_tol = 1e-9) const;
+
+  /// Largest gap between consecutive modes — the alpha of Proposition 1's
+  /// Discrete transfer bound. Zero for a single mode.
+  [[nodiscard]] double max_gap() const noexcept;
+
+ private:
+  std::vector<double> speeds_;
+};
+
+}  // namespace reclaim::model

@@ -1,0 +1,128 @@
+#include "opt/barrier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "la/cholesky.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::opt {
+
+double SparseInequality::residual(const la::Vector& x) const {
+  double r = rhs;
+  for (const auto& [var, coeff] : terms) r -= coeff * x[var];
+  return r;
+}
+
+namespace {
+
+/// phi_t(x) = t * f(x) - sum log(residual_k); +inf outside the domain.
+/// Residuals are checked before f is evaluated: line-search candidates may
+/// fall outside f's domain (e.g. non-positive durations).
+double barrier_value(const ConvexObjective& f,
+                     const std::vector<SparseInequality>& ineqs, double t,
+                     const la::Vector& x) {
+  double log_sum = 0.0;
+  for (const auto& ineq : ineqs) {
+    const double r = ineq.residual(x);
+    if (r <= 0.0) return std::numeric_limits<double>::infinity();
+    log_sum += std::log(r);
+  }
+  return t * f.value(x) - log_sum;
+}
+
+}  // namespace
+
+BarrierResult minimize_with_barrier(const ConvexObjective& objective,
+                                    const std::vector<SparseInequality>& ineqs,
+                                    la::Vector x0, const BarrierOptions& options) {
+  const std::size_t dim = x0.size();
+  for (const auto& ineq : ineqs) {
+    util::require(ineq.residual(x0) > 0.0,
+                  "barrier start point is not strictly feasible");
+  }
+
+  BarrierResult result;
+  result.x = std::move(x0);
+  const auto m = static_cast<double>(ineqs.size());
+
+  la::Vector grad(dim);
+  la::Vector residuals(ineqs.size());
+  la::Matrix hess(dim, dim);
+
+  double t = options.t0;
+  for (std::size_t stage = 0; stage < options.max_stages; ++stage) {
+    // Newton centering for phi_t.
+    for (std::size_t it = 0; it < options.max_newton_per_stage; ++it) {
+      std::fill(grad.begin(), grad.end(), 0.0);
+      hess.fill(0.0);
+
+      objective.add_gradient(result.x, grad);
+      for (auto& g : grad) g *= t;
+      objective.add_hessian(result.x, hess);
+      for (std::size_t r = 0; r < dim; ++r)
+        for (std::size_t c = 0; c < dim; ++c) hess(r, c) *= t;
+
+      for (std::size_t k = 0; k < ineqs.size(); ++k) {
+        const double r = ineqs[k].residual(result.x);
+        util::require_numeric(r > 0.0, "barrier iterate left the domain");
+        residuals[k] = r;
+        const double inv = 1.0 / r;
+        const double inv2 = inv * inv;
+        // grad += a_k / r_k ; hess += a_k a_k^T / r_k^2  (a_k = +coeffs).
+        for (const auto& [vi, ci] : ineqs[k].terms) {
+          grad[vi] += ci * inv;
+          for (const auto& [vj, cj] : ineqs[k].terms) {
+            hess(vi, vj) += ci * cj * inv2;
+          }
+        }
+      }
+
+      // Newton direction: hess dx = -grad, with a jitter fallback for
+      // nearly singular Hessians.
+      la::Vector step;
+      {
+        const double jitter = 1e-12 * std::max(1.0, hess.max_abs());
+        const la::Cholesky chol(hess, jitter);
+        la::Vector rhs(dim);
+        for (std::size_t i = 0; i < dim; ++i) rhs[i] = -grad[i];
+        step = chol.solve(rhs);
+      }
+
+      const double decrement2 = -la::dot(grad, step);
+      ++result.newton_steps;
+      if (decrement2 * 0.5 <= options.newton_tol) break;
+
+      // Largest step that keeps all residuals positive.
+      double step_max = 1.0;
+      for (std::size_t k = 0; k < ineqs.size(); ++k) {
+        double along = 0.0;
+        for (const auto& [vi, ci] : ineqs[k].terms) along += ci * step[vi];
+        if (along > 0.0) step_max = std::min(step_max, 0.99 * residuals[k] / along);
+      }
+
+      // Backtracking line search on phi_t.
+      const double phi0 = barrier_value(objective, ineqs, t, result.x);
+      double sigma = step_max;
+      la::Vector candidate(dim);
+      for (std::size_t bt = 0; bt < 80; ++bt) {
+        for (std::size_t i = 0; i < dim; ++i)
+          candidate[i] = result.x[i] + sigma * step[i];
+        const double phi = barrier_value(objective, ineqs, t, candidate);
+        if (phi <= phi0 - options.armijo * sigma * decrement2) break;
+        sigma *= options.backtrack;
+      }
+      for (std::size_t i = 0; i < dim; ++i) result.x[i] += sigma * step[i];
+    }
+
+    result.objective = objective.value(result.x);
+    result.gap = m / t;
+    if (result.gap <= options.rel_gap * std::max(1.0, std::abs(result.objective)))
+      break;
+    t *= options.mu;
+  }
+  return result;
+}
+
+}  // namespace reclaim::opt

@@ -1,0 +1,38 @@
+#include "opt/roots.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace reclaim::opt {
+
+double find_root(const std::function<double(double)>& f, double lo, double hi,
+                 const RootOptions& options) {
+  util::require(lo <= hi, "find_root: empty interval");
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  util::require(flo * fhi < 0.0, "find_root: no sign change over the interval");
+
+  for (std::size_t i = 0; i < options.max_iter && hi - lo > options.tol; ++i) {
+    // Secant proposal, safeguarded to the middle half of the bracket.
+    double mid = lo + (hi - lo) * (-flo) / (fhi - flo);
+    const double lo_guard = lo + 0.25 * (hi - lo);
+    const double hi_guard = hi - 0.25 * (hi - lo);
+    if (!(mid >= lo_guard && mid <= hi_guard)) mid = 0.5 * (lo + hi);
+
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if (flo * fmid < 0.0) {
+      hi = mid;
+      fhi = fmid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace reclaim::opt

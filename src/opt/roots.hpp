@@ -1,0 +1,19 @@
+// Scalar root finding on monotone functions (bisection with a secant
+// acceleration), used by analysis utilities and tests.
+#pragma once
+
+#include <functional>
+
+namespace reclaim::opt {
+
+struct RootOptions {
+  double tol = 1e-12;       ///< absolute interval tolerance
+  std::size_t max_iter = 200;
+};
+
+/// Finds x in [lo, hi] with f(x) ~ 0. Requires f(lo) and f(hi) to have
+/// opposite (or zero) signs; throws InvalidArgument otherwise.
+[[nodiscard]] double find_root(const std::function<double(double)>& f, double lo,
+                               double hi, const RootOptions& options = {});
+
+}  // namespace reclaim::opt

@@ -1,0 +1,299 @@
+#include "opt/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "la/matrix.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::opt {
+
+using util::require;
+
+std::size_t LinearProgram::add_variable(double cost) {
+  costs_.push_back(cost);
+  return costs_.size() - 1;
+}
+
+void LinearProgram::add_constraint(LinearConstraint constraint) {
+  for (const auto& [var, coeff] : constraint.terms) {
+    require(var < costs_.size(), "constraint references an unknown variable");
+    (void)coeff;
+  }
+  constraints_.push_back(std::move(constraint));
+}
+
+namespace {
+
+/// Dense simplex tableau with an attached reduced-cost row.
+///
+/// Layout: rows 0..m-1 hold the constraints; `rc` holds the reduced costs
+/// with rc[cols] == -objective (so a single row elimination updates both).
+struct Tableau {
+  la::Matrix body;            // m x (cols + 1); last column is the rhs
+  std::vector<double> rc;     // cols + 1 entries
+  std::vector<std::size_t> basis;
+  std::size_t cols = 0;
+
+  [[nodiscard]] double rhs(std::size_t r) const { return body(r, cols); }
+  [[nodiscard]] double objective() const { return -rc[cols]; }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = body(row, col);
+    double* prow = body.row(row);
+    const double inv = 1.0 / p;
+    for (std::size_t j = 0; j <= cols; ++j) prow[j] *= inv;
+    prow[col] = 1.0;  // exact
+
+    for (std::size_t r = 0; r < body.rows(); ++r) {
+      if (r == row) continue;
+      const double factor = body(r, col);
+      if (factor == 0.0) continue;
+      double* target = body.row(r);
+      for (std::size_t j = 0; j <= cols; ++j) target[j] -= factor * prow[j];
+      target[col] = 0.0;  // exact
+    }
+    const double zfactor = rc[col];
+    if (zfactor != 0.0) {
+      for (std::size_t j = 0; j <= cols; ++j) rc[j] -= zfactor * prow[j];
+      rc[col] = 0.0;
+    }
+    basis[row] = col;
+  }
+};
+
+enum class LoopResult { kOptimal, kUnbounded };
+
+/// Runs the pivot loop until optimality/unboundedness. `allowed[j]` gates
+/// entering columns. Switches from Dantzig to Bland pricing after a long
+/// stall to break degenerate cycles.
+LoopResult pivot_loop(Tableau& t, const std::vector<bool>& allowed,
+                      const SimplexOptions& options, std::size_t& pivots) {
+  const std::size_t m = t.body.rows();
+  const double eps = options.eps;
+  double last_objective = t.objective();
+  std::size_t stall = 0;
+  const std::size_t stall_limit = 3 * (m + t.cols) + 64;
+  bool bland = false;
+
+  for (;;) {
+    // Entering column.
+    std::size_t enter = t.cols;  // sentinel: none
+    if (bland) {
+      for (std::size_t j = 0; j < t.cols; ++j) {
+        if (allowed[j] && t.rc[j] < -eps) {
+          enter = j;
+          break;
+        }
+      }
+    } else {
+      double best = -eps;
+      for (std::size_t j = 0; j < t.cols; ++j) {
+        if (allowed[j] && t.rc[j] < best) {
+          best = t.rc[j];
+          enter = j;
+        }
+      }
+    }
+    if (enter == t.cols) return LoopResult::kOptimal;
+
+    // Ratio test; ties resolved toward the smallest basis index (Bland).
+    std::size_t leave = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < m; ++r) {
+      const double a = t.body(r, enter);
+      if (a <= eps) continue;
+      const double ratio = t.rhs(r) / a;
+      if (ratio < best_ratio - eps ||
+          (ratio < best_ratio + eps && (leave == m || t.basis[r] < t.basis[leave]))) {
+        best_ratio = ratio;
+        leave = r;
+      }
+    }
+    if (leave == m) return LoopResult::kUnbounded;
+
+    t.pivot(leave, enter);
+    ++pivots;
+    util::require_numeric(pivots < options.max_pivots,
+                          "simplex: pivot budget exhausted");
+
+    const double objective = t.objective();
+    if (objective < last_objective - eps * (1.0 + std::abs(last_objective))) {
+      last_objective = objective;
+      stall = 0;
+    } else if (++stall > stall_limit) {
+      bland = true;  // anti-cycling from here on
+    }
+  }
+}
+
+}  // namespace
+
+LpSolution solve_lp(const LinearProgram& lp, const SimplexOptions& options) {
+  const std::size_t n = lp.num_variables();
+  const std::size_t m = lp.num_constraints();
+
+  // Column layout: structural | slack/surplus | artificial.
+  std::size_t num_slack = 0;
+  std::size_t num_artificial = 0;
+  for (const auto& c : lp.constraints()) {
+    if (c.relation != Relation::kEqual) ++num_slack;
+    // Sign normalization may turn <= into >= and vice versa, so the
+    // artificial count is finalized during assembly below.
+    (void)num_artificial;
+  }
+  // Assemble rows first (normalized to rhs >= 0), then lay out columns.
+  struct Row {
+    std::vector<std::pair<std::size_t, double>> terms;
+    Relation relation;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  rows.reserve(m);
+  for (const auto& c : lp.constraints()) {
+    Row row{c.terms, c.relation, c.rhs};
+    if (row.rhs < 0.0) {
+      row.rhs = -row.rhs;
+      for (auto& [var, coeff] : row.terms) coeff = -coeff;
+      if (row.relation == Relation::kLessEqual) {
+        row.relation = Relation::kGreaterEqual;
+      } else if (row.relation == Relation::kGreaterEqual) {
+        row.relation = Relation::kLessEqual;
+      }
+    }
+    // Row equilibration improves pivot tolerance behaviour.
+    double scale = std::abs(row.rhs);
+    for (const auto& [var, coeff] : row.terms) {
+      (void)var;
+      scale = std::max(scale, std::abs(coeff));
+    }
+    if (scale > 0.0) {
+      const double inv = 1.0 / scale;
+      row.rhs *= inv;
+      for (auto& [var, coeff] : row.terms) {
+        (void)var;
+        coeff *= inv;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  num_slack = 0;
+  num_artificial = 0;
+  for (const auto& row : rows) {
+    if (row.relation != Relation::kEqual) ++num_slack;
+    if (row.relation != Relation::kLessEqual) ++num_artificial;
+  }
+
+  Tableau t;
+  t.cols = n + num_slack + num_artificial;
+  t.body = la::Matrix(m, t.cols + 1);
+  t.rc.assign(t.cols + 1, 0.0);
+  t.basis.assign(m, 0);
+
+  const std::size_t slack_base = n;
+  const std::size_t artificial_base = n + num_slack;
+  std::size_t next_slack = 0;
+  std::size_t next_artificial = 0;
+  std::vector<bool> is_artificial(t.cols, false);
+
+  for (std::size_t r = 0; r < m; ++r) {
+    const Row& row = rows[r];
+    for (const auto& [var, coeff] : row.terms) t.body(r, var) += coeff;
+    t.body(r, t.cols) = row.rhs;
+    switch (row.relation) {
+      case Relation::kLessEqual: {
+        const std::size_t s = slack_base + next_slack++;
+        t.body(r, s) = 1.0;
+        t.basis[r] = s;
+        break;
+      }
+      case Relation::kGreaterEqual: {
+        const std::size_t s = slack_base + next_slack++;
+        t.body(r, s) = -1.0;
+        const std::size_t a = artificial_base + next_artificial++;
+        t.body(r, a) = 1.0;
+        is_artificial[a] = true;
+        t.basis[r] = a;
+        break;
+      }
+      case Relation::kEqual: {
+        const std::size_t a = artificial_base + next_artificial++;
+        t.body(r, a) = 1.0;
+        is_artificial[a] = true;
+        t.basis[r] = a;
+        break;
+      }
+    }
+  }
+
+  LpSolution solution;
+
+  // Phase 1: minimize the sum of artificials.
+  if (num_artificial > 0) {
+    for (std::size_t j = artificial_base; j < t.cols; ++j) t.rc[j] = 1.0;
+    // Price out the artificial basis.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!is_artificial[t.basis[r]]) continue;
+      const double* brow = t.body.row(r);
+      for (std::size_t j = 0; j <= t.cols; ++j) t.rc[j] -= brow[j];
+    }
+    std::vector<bool> allowed(t.cols, true);
+    const LoopResult phase1 =
+        pivot_loop(t, allowed, options, solution.pivots);
+    util::require_numeric(phase1 == LoopResult::kOptimal,
+                          "simplex: phase 1 unbounded (bug)");
+    if (t.objective() > 1e-7 * static_cast<double>(1 + m)) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    // Drive surviving artificials out of the basis where possible.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!is_artificial[t.basis[r]]) continue;
+      for (std::size_t j = 0; j < artificial_base; ++j) {
+        if (std::abs(t.body(r, j)) > options.eps) {
+          t.pivot(r, j);
+          ++solution.pivots;
+          break;
+        }
+      }
+      // A fully zero row is redundant; the artificial stays basic at 0.
+    }
+  }
+
+  // Phase 2: the real objective.
+  std::fill(t.rc.begin(), t.rc.end(), 0.0);
+  for (std::size_t j = 0; j < n; ++j) t.rc[j] = lp.costs()[j];
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t b = t.basis[r];
+    if (b >= n) continue;
+    const double cost = lp.costs()[b];
+    if (cost == 0.0) continue;
+    const double* brow = t.body.row(r);
+    for (std::size_t j = 0; j <= t.cols; ++j) t.rc[j] -= cost * brow[j];
+  }
+  std::vector<bool> allowed(t.cols, true);
+  for (std::size_t j = 0; j < t.cols; ++j)
+    if (is_artificial[j]) allowed[j] = false;
+
+  const LoopResult phase2 = pivot_loop(t, allowed, options, solution.pivots);
+  if (phase2 == LoopResult::kUnbounded) {
+    solution.status = LpStatus::kUnbounded;
+    return solution;
+  }
+
+  solution.status = LpStatus::kOptimal;
+  solution.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (t.basis[r] < n) solution.x[t.basis[r]] = t.rhs(r);
+  }
+  for (auto& v : solution.x)
+    if (v < 0.0 && v > -1e-9) v = 0.0;
+  solution.objective = 0.0;
+  for (std::size_t j = 0; j < n; ++j)
+    solution.objective += lp.costs()[j] * solution.x[j];
+  return solution;
+}
+
+}  // namespace reclaim::opt

@@ -1,0 +1,65 @@
+// Dense two-phase primal simplex.
+//
+// Theorem 3 reduces MinEnergy under Vdd-Hopping to a linear program; this
+// self-contained solver (Dantzig pricing with a Bland anti-cycling
+// fallback, explicit infeasible/unbounded detection) is sized for the
+// hundreds-of-variables LPs the experiments generate.
+//
+// Canonical form: minimize c'x subject to sparse rows a_r x {<=,=,>=} b_r
+// and x >= 0.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace reclaim::opt {
+
+enum class Relation { kLessEqual, kEqual, kGreaterEqual };
+
+struct LinearConstraint {
+  std::vector<std::pair<std::size_t, double>> terms;  ///< (variable, coefficient)
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+class LinearProgram {
+ public:
+  /// Adds a variable with objective coefficient `cost`; returns its index.
+  std::size_t add_variable(double cost);
+
+  void add_constraint(LinearConstraint constraint);
+
+  [[nodiscard]] std::size_t num_variables() const noexcept { return costs_.size(); }
+  [[nodiscard]] std::size_t num_constraints() const noexcept {
+    return constraints_.size();
+  }
+  [[nodiscard]] const std::vector<double>& costs() const noexcept { return costs_; }
+  [[nodiscard]] const std::vector<LinearConstraint>& constraints() const noexcept {
+    return constraints_;
+  }
+
+ private:
+  std::vector<double> costs_;
+  std::vector<LinearConstraint> constraints_;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> x;       ///< primal values (valid when optimal)
+  double objective = 0.0;      ///< c'x (valid when optimal)
+  std::size_t pivots = 0;      ///< total simplex pivots (both phases)
+};
+
+struct SimplexOptions {
+  double eps = 1e-9;             ///< pivot / feasibility tolerance
+  std::size_t max_pivots = 200000;
+};
+
+/// Solves the LP; throws NumericalError when the pivot budget is exhausted.
+[[nodiscard]] LpSolution solve_lp(const LinearProgram& lp,
+                                  const SimplexOptions& options = {});
+
+}  // namespace reclaim::opt

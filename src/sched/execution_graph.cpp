@@ -1,0 +1,26 @@
+#include "sched/execution_graph.hpp"
+
+#include "graph/topo.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::sched {
+
+graph::Digraph build_execution_graph(const graph::Digraph& task_graph,
+                                     const Mapping& mapping) {
+  util::require(graph::is_acyclic(task_graph), "task graph must be acyclic");
+  mapping.validate_complete(task_graph);
+
+  graph::Digraph exec = task_graph;
+  for (std::size_t p = 0; p < mapping.num_processors(); ++p) {
+    const auto& list = mapping.tasks_on(p);
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      exec.add_edge_if_absent(list[i - 1], list[i]);
+    }
+  }
+  util::require(graph::is_acyclic(exec),
+                "mapping order contradicts the precedence constraints "
+                "(execution graph has a cycle)");
+  return exec;
+}
+
+}  // namespace reclaim::sched

@@ -1,0 +1,22 @@
+// Execution graph construction: G' = (V, E union chaining edges).
+//
+// Following the paper (Section 1): "if T1 and T2 are executed successively,
+// in this order, on the same processor, then (T1, T2) in E'". MinEnergy is
+// then a pure DAG problem on G'; processors disappear from the formulation.
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "sched/mapping.hpp"
+
+namespace reclaim::sched {
+
+/// Builds the execution graph of `task_graph` under `mapping`.
+///
+/// Adds an edge between consecutive tasks of each processor list (when not
+/// already a precedence edge). Throws InvalidArgument when the mapping is
+/// incomplete/duplicated or when the combined graph has a cycle (the
+/// processor orders contradict the precedence constraints).
+[[nodiscard]] graph::Digraph build_execution_graph(const graph::Digraph& task_graph,
+                                                   const Mapping& mapping);
+
+}  // namespace reclaim::sched

@@ -1,0 +1,73 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/topo.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::sched {
+
+ListScheduleResult list_schedule(const graph::Digraph& g, std::size_t processors,
+                                 double reference_speed) {
+  util::require(processors >= 1, "list_schedule needs >= 1 processor");
+  util::require(reference_speed > 0.0, "reference speed must be positive");
+  util::require(graph::is_acyclic(g), "task graph must be acyclic");
+
+  const std::size_t n = g.num_nodes();
+  const std::vector<double> priority = graph::longest_path_from(g);
+
+  ListScheduleResult result{Mapping(processors), 0.0,
+                            std::vector<double>(n, 0.0),
+                            std::vector<double>(n, 0.0)};
+  if (n == 0) return result;
+
+  std::vector<std::size_t> unscheduled_preds(n);
+  std::vector<bool> ready(n, false);
+  std::vector<bool> done(n, false);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    unscheduled_preds[v] = g.in_degree(v);
+    ready[v] = unscheduled_preds[v] == 0;
+  }
+  std::vector<double> processor_free(processors, 0.0);
+
+  for (std::size_t scheduled = 0; scheduled < n; ++scheduled) {
+    // Highest-priority ready task; ties by node id.
+    graph::NodeId best = graph::kNoNode;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (!ready[v] || done[v]) continue;
+      if (best == graph::kNoNode || priority[v] > priority[best]) best = v;
+    }
+    util::require(best != graph::kNoNode, "list_schedule: no ready task (bug)");
+
+    double data_ready = 0.0;
+    for (graph::NodeId p : g.predecessors(best))
+      data_ready = std::max(data_ready, result.finish[p]);
+
+    // Earliest-start processor; ties by processor index.
+    std::size_t proc = 0;
+    double best_start = std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p < processors; ++p) {
+      const double start = std::max(processor_free[p], data_ready);
+      if (start < best_start) {
+        best_start = start;
+        proc = p;
+      }
+    }
+
+    const double duration = g.weight(best) / reference_speed;
+    result.start[best] = best_start;
+    result.finish[best] = best_start + duration;
+    result.makespan = std::max(result.makespan, result.finish[best]);
+    processor_free[proc] = result.finish[best];
+    result.mapping.assign(proc, best);
+
+    done[best] = true;
+    for (graph::NodeId s : g.successors(best)) {
+      if (--unscheduled_preds[s] == 0) ready[s] = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace reclaim::sched

@@ -1,0 +1,32 @@
+// Critical-path list scheduling to *generate* the mappings the paper
+// assumes as input ("optimizing for legacy applications ... tasks are
+// pre-allocated").
+//
+// Identical processors, zero communication cost (the paper's platform).
+// Priorities are bottom levels (heaviest remaining path including the task
+// itself); ties break by node id so the schedule is deterministic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "sched/mapping.hpp"
+
+namespace reclaim::sched {
+
+struct ListScheduleResult {
+  Mapping mapping;             ///< per-processor ordered task lists
+  double makespan = 0.0;       ///< at the reference speed
+  std::vector<double> start;   ///< per-task start times at reference speed
+  std::vector<double> finish;  ///< per-task finish times at reference speed
+};
+
+/// Schedules `g` on `processors` identical processors with durations
+/// w_i / reference_speed. Greedy: repeatedly start the highest-priority
+/// ready task on the processor that allows the earliest start.
+[[nodiscard]] ListScheduleResult list_schedule(const graph::Digraph& g,
+                                               std::size_t processors,
+                                               double reference_speed = 1.0);
+
+}  // namespace reclaim::sched

@@ -1,0 +1,70 @@
+#include "sched/mapping.hpp"
+
+#include "graph/topo.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::sched {
+
+using util::require;
+
+Mapping::Mapping(std::size_t processors) : lists_(processors) {
+  require(processors >= 1, "a mapping needs at least one processor");
+}
+
+Mapping::Mapping(std::vector<std::vector<graph::NodeId>> lists)
+    : lists_(std::move(lists)) {
+  require(!lists_.empty(), "a mapping needs at least one processor");
+}
+
+const std::vector<graph::NodeId>& Mapping::tasks_on(std::size_t p) const {
+  require(p < lists_.size(), "processor index out of range");
+  return lists_[p];
+}
+
+void Mapping::assign(std::size_t p, graph::NodeId task) {
+  require(p < lists_.size(), "processor index out of range");
+  lists_[p].push_back(task);
+}
+
+std::size_t Mapping::processor_of(graph::NodeId task) const {
+  for (std::size_t p = 0; p < lists_.size(); ++p)
+    for (graph::NodeId t : lists_[p])
+      if (t == task) return p;
+  throw InvalidArgument("task is not mapped to any processor");
+}
+
+void Mapping::validate_complete(const graph::Digraph& g) const {
+  std::vector<int> count(g.num_nodes(), 0);
+  for (const auto& list : lists_) {
+    for (graph::NodeId t : list) {
+      require(t < g.num_nodes(), "mapping references an unknown task");
+      ++count[t];
+    }
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    require(count[v] == 1, "every task must be mapped exactly once");
+  }
+}
+
+Mapping single_processor_mapping(const graph::Digraph& g) {
+  const auto order = graph::topological_order(g);
+  require(order.has_value(), "task graph must be acyclic");
+  Mapping m(1);
+  for (graph::NodeId v : *order) m.assign(0, v);
+  return m;
+}
+
+Mapping round_robin_mapping(const graph::Digraph& g, std::size_t processors) {
+  require(processors >= 1, "round_robin_mapping needs >= 1 processor");
+  const auto order = graph::topological_order(g);
+  require(order.has_value(), "task graph must be acyclic");
+  Mapping m(processors);
+  std::size_t p = 0;
+  for (graph::NodeId v : *order) {
+    m.assign(p, v);
+    p = (p + 1) % processors;
+  }
+  return m;
+}
+
+}  // namespace reclaim::sched

@@ -1,0 +1,51 @@
+// Mappings: the paper's "ordered list of tasks to execute on each
+// processor". A mapping is the frozen allocation; MinEnergy only tunes
+// speeds on top of it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace reclaim::sched {
+
+class Mapping {
+ public:
+  /// Empty mapping over `processors` processors.
+  explicit Mapping(std::size_t processors);
+
+  /// Takes explicit per-processor ordered task lists.
+  explicit Mapping(std::vector<std::vector<graph::NodeId>> lists);
+
+  [[nodiscard]] std::size_t num_processors() const noexcept { return lists_.size(); }
+
+  /// The ordered task list of processor p.
+  [[nodiscard]] const std::vector<graph::NodeId>& tasks_on(std::size_t p) const;
+
+  /// Appends `task` to processor p's list.
+  void assign(std::size_t p, graph::NodeId task);
+
+  /// Processor executing `task`; requires the task to be mapped.
+  [[nodiscard]] std::size_t processor_of(graph::NodeId task) const;
+
+  /// Throws InvalidArgument unless every task of `g` appears exactly once.
+  void validate_complete(const graph::Digraph& g) const;
+
+  [[nodiscard]] const std::vector<std::vector<graph::NodeId>>& lists() const noexcept {
+    return lists_;
+  }
+
+ private:
+  std::vector<std::vector<graph::NodeId>> lists_;
+};
+
+/// All tasks on one processor in canonical topological order.
+[[nodiscard]] Mapping single_processor_mapping(const graph::Digraph& g);
+
+/// Tasks dealt round-robin over `processors` in topological order (a
+/// deliberately mediocre mapping, useful as an experiment contrast).
+[[nodiscard]] Mapping round_robin_mapping(const graph::Digraph& g,
+                                          std::size_t processors);
+
+}  // namespace reclaim::sched

@@ -1,0 +1,77 @@
+// Schedule evaluation: from per-task speeds (or Vdd speed profiles) to
+// start/finish times, makespan, deadline feasibility and energy — plus the
+// invariant validators used throughout the tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "model/energy_model.hpp"
+#include "model/power.hpp"
+
+namespace reclaim::sched {
+
+/// A Vdd-Hopping execution of one task: consecutive (speed, duration)
+/// segments. Constant-speed executions are a single segment.
+struct SpeedProfile {
+  struct Segment {
+    double speed = 0.0;
+    double duration = 0.0;
+  };
+
+  std::vector<Segment> segments;
+
+  [[nodiscard]] double total_duration() const noexcept;
+  /// Work processed: sum of speed * duration over segments.
+  [[nodiscard]] double work() const noexcept;
+  [[nodiscard]] double energy(const model::PowerLaw& power) const;
+};
+
+struct Timing {
+  std::vector<double> start;
+  std::vector<double> finish;
+  double makespan = 0.0;
+};
+
+/// Durations d_i = w_i / s_i; zero-weight tasks have zero duration
+/// regardless of their (possibly zero) speed entry.
+[[nodiscard]] std::vector<double> durations_from_speeds(
+    const graph::Digraph& g, const std::vector<double>& speeds);
+
+/// Earliest-start timing of the execution graph under the given durations.
+[[nodiscard]] Timing compute_timing(const graph::Digraph& exec_graph,
+                                    const std::vector<double>& durations);
+
+/// Total dynamic energy of constant-speed execution.
+[[nodiscard]] double total_energy(const graph::Digraph& g,
+                                  const std::vector<double>& speeds,
+                                  const model::PowerLaw& power);
+
+/// Total dynamic energy of profile-based (Vdd) execution.
+[[nodiscard]] double total_energy(const std::vector<SpeedProfile>& profiles,
+                                  const model::PowerLaw& power);
+
+/// True when the earliest-start makespan meets the deadline within
+/// relative tolerance.
+[[nodiscard]] bool meets_deadline(const graph::Digraph& exec_graph,
+                                  const std::vector<double>& durations,
+                                  double deadline, double rel_tol = 1e-9);
+
+/// Throws InvalidArgument unless: one speed per task, every positive-weight
+/// task has a speed admissible under `model`, and the induced schedule
+/// meets `deadline`. The workhorse assertion of the test suite.
+void validate_constant_speeds(const graph::Digraph& exec_graph,
+                              const std::vector<double>& speeds,
+                              const model::EnergyModel& model, double deadline,
+                              double rel_tol = 1e-7);
+
+/// Profile analogue: every segment speed must be a mode of `model`'s mode
+/// set, each task's profile work must equal its weight, and the induced
+/// schedule must meet `deadline`.
+void validate_profiles(const graph::Digraph& exec_graph,
+                       const std::vector<SpeedProfile>& profiles,
+                       const model::EnergyModel& model, double deadline,
+                       double rel_tol = 1e-7);
+
+}  // namespace reclaim::sched

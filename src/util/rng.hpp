@@ -1,0 +1,70 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All randomness in the library flows through Rng, a xoshiro256** engine
+// seeded via SplitMix64. Unlike std::mt19937 + std::uniform_*_distribution,
+// the output sequence is fully specified here, so experiment tables are
+// bit-reproducible across standard library implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace reclaim::util {
+
+/// SplitMix64 step; used for seeding and for deriving substreams.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** pseudo random generator with explicit, portable
+/// distributions. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in the closed range [lo, hi]. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Standard normal deviate (Box-Muller, one value per call).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal deviate with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Derives an independent generator for substream `index`; deterministic
+  /// in (this stream's seed, index). The parent stream is not advanced.
+  [[nodiscard]] Rng substream(std::uint64_t index) const noexcept;
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace reclaim::util

@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace reclaim::util {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  require(!columns_.empty(), "Table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == columns_.size(),
+          "Table row width does not match the number of columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::fmt(std::size_t value) { return std::to_string(value); }
+std::string Table::fmt(int value) { return std::to_string(value); }
+
+std::string Table::fmt_ratio(double value, int precision) {
+  return fmt(value, precision) + "x";
+}
+
+std::string Table::fmt_pct(double fraction, int precision) {
+  return fmt(100.0 * fraction, precision) + "%";
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::size_t total = 1;
+  for (std::size_t w : widths) total += w + 3;
+
+  out << '\n' << title_ << '\n';
+  out << std::string(total, '-') << '\n';
+  out << '|';
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    out << ' ' << std::setw(static_cast<int>(widths[c])) << columns_[c] << " |";
+  out << '\n' << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << ' ' << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    out << '\n';
+  }
+  out << std::string(total, '-') << '\n';
+}
+
+void Table::print_csv(std::ostream& out) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    out << columns_[c] << (c + 1 == columns_.size() ? '\n' : ',');
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << row[c] << (c + 1 == row.size() ? '\n' : ',');
+}
+
+}  // namespace reclaim::util

@@ -1,0 +1,58 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// The experiment harness evaluates many independent problem instances; the
+// pool partitions index ranges across worker threads (CP.4: prefer tasks to
+// raw threads; exceptions thrown by workers are captured and rethrown on
+// the caller's thread).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace reclaim::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues `task` and returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs body(i) for i in [begin, end), partitioned into contiguous chunks.
+  /// Blocks until all iterations finish; rethrows the first exception.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool for harness sweeps (lazily constructed, sized to the
+/// hardware concurrency).
+ThreadPool& global_pool();
+
+/// Convenience wrapper over global_pool().parallel_for.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace reclaim::util

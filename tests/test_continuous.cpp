@@ -1,0 +1,437 @@
+// Tests for the Continuous-model solvers: Theorem 1 closed forms, the
+// Theorem 2 tree/SP algorithms, the numeric geometric-programming solver,
+// and the dispatcher — all cross-checked against each other.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/continuous/closed_form.hpp"
+#include "core/continuous/dispatch.hpp"
+#include "core/continuous/numeric_solver.hpp"
+#include "core/continuous/sp_solver.hpp"
+#include "core/continuous/tree_solver.hpp"
+#include "core/problem.hpp"
+#include "graph/generators.hpp"
+#include "graph/sp_tree.hpp"
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace rc = reclaim::core;
+namespace rg = reclaim::graph;
+namespace rm = reclaim::model;
+namespace rs = reclaim::sched;
+using reclaim::util::Rng;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void expect_feasible_under(const rc::Instance& instance, const rc::Solution& s,
+                           double s_max) {
+  ASSERT_TRUE(s.feasible);
+  rs::validate_constant_speeds(instance.exec_graph, s.speeds,
+                               rm::ContinuousModel{s_max}, instance.deadline,
+                               1e-7);
+  EXPECT_NEAR(s.energy, rc::recompute_energy(instance, s),
+              1e-9 * (1.0 + s.energy));
+}
+
+}  // namespace
+
+TEST(ClosedForm, SingleTask) {
+  auto instance = rc::make_instance(rg::make_chain({6.0}), 3.0);
+  const auto s = rc::solve_single(instance, rm::ContinuousModel{kInf});
+  ASSERT_TRUE(s.feasible);
+  EXPECT_NEAR(s.speeds[0], 2.0, 1e-12);
+  EXPECT_NEAR(s.energy, 6.0 * 4.0, 1e-12);  // w s^2
+}
+
+TEST(ClosedForm, SingleTaskInfeasible) {
+  auto instance = rc::make_instance(rg::make_chain({6.0}), 1.0);
+  const auto s = rc::solve_single(instance, rm::ContinuousModel{2.0});
+  EXPECT_FALSE(s.feasible);
+}
+
+TEST(ClosedForm, ChainUsesOneSpeed) {
+  auto instance = rc::make_instance(rg::make_chain({1.0, 2.0, 3.0}), 3.0);
+  const auto s = rc::solve_chain(instance, rm::ContinuousModel{kInf});
+  ASSERT_TRUE(s.feasible);
+  for (double v : s.speeds) EXPECT_NEAR(v, 2.0, 1e-12);
+  EXPECT_NEAR(s.energy, 6.0 * 4.0, 1e-12);
+  expect_feasible_under(instance, s, kInf);
+}
+
+TEST(ClosedForm, ChainRespectsSmax) {
+  auto instance = rc::make_instance(rg::make_chain({1.0, 2.0, 3.0}), 3.0);
+  EXPECT_FALSE(rc::solve_chain(instance, rm::ContinuousModel{1.5}).feasible);
+  EXPECT_TRUE(rc::solve_chain(instance, rm::ContinuousModel{2.0}).feasible);
+}
+
+TEST(ClosedForm, ForkMatchesTheorem1) {
+  // Thm 1: s_0 = ((sum w_i^3)^(1/3) + w_0)/D, s_i = s_0 w_i / l.
+  const std::vector<double> w{2.0, 1.0, 2.0, 3.0};
+  auto instance = rc::make_instance(rg::make_fork(w), 5.0);
+  const auto s = rc::solve_fork(instance, rm::ContinuousModel{kInf});
+  ASSERT_TRUE(s.feasible);
+  const double l = std::cbrt(1.0 + 8.0 + 27.0);
+  const double s0 = (l + 2.0) / 5.0;
+  EXPECT_NEAR(s.speeds[0], s0, 1e-12);
+  for (std::size_t i = 1; i < w.size(); ++i)
+    EXPECT_NEAR(s.speeds[i], s0 * w[i] / l, 1e-12);
+  expect_feasible_under(instance, s, kInf);
+  // The deadline is exactly saturated at the optimum.
+  const auto durations = rs::durations_from_speeds(instance.exec_graph, s.speeds);
+  EXPECT_NEAR(rs::compute_timing(instance.exec_graph, durations).makespan, 5.0,
+              1e-9);
+}
+
+TEST(ClosedForm, ForkSaturatedBranch) {
+  // Force s_0 above s_max: the source is pinned at s_max, leaves share the
+  // remaining window D' = D - w0/s_max (the paper's "otherwise" branch).
+  // Here (l + w0)/D = ((0.9^3 + 0.8^3)^(1/3) + 4)/2.5 = 2.03 > s_max = 2,
+  // and the leaf speeds 0.9/0.5 and 0.8/0.5 stay below s_max.
+  const std::vector<double> w{4.0, 0.9, 0.8};
+  auto tight = rc::make_instance(rg::make_fork(w), 2.5);
+  const rm::ContinuousModel capped{2.0};
+  const auto s = rc::solve_fork(tight, capped);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_NEAR(s.speeds[0], 2.0, 1e-12);
+  const double leaf_window = 2.5 - 4.0 / 2.0;
+  EXPECT_NEAR(s.speeds[1], 0.9 / leaf_window, 1e-12);
+  EXPECT_NEAR(s.speeds[2], 0.8 / leaf_window, 1e-12);
+  expect_feasible_under(tight, s, 2.0);
+}
+
+TEST(ClosedForm, ForkSaturatedInfeasible) {
+  // Even the saturated branch cannot fit: leaves would exceed s_max.
+  const std::vector<double> w{4.0, 3.0};
+  auto instance = rc::make_instance(rg::make_fork(w), 2.5);
+  EXPECT_FALSE(rc::solve_fork(instance, rm::ContinuousModel{2.0}).feasible);
+}
+
+TEST(ClosedForm, ForkWithZeroWeightLeaves) {
+  const std::vector<double> w{2.0, 0.0, 3.0};
+  auto instance = rc::make_instance(rg::make_fork(w), 4.0);
+  const auto s = rc::solve_fork(instance, rm::ContinuousModel{kInf});
+  ASSERT_TRUE(s.feasible);
+  EXPECT_DOUBLE_EQ(s.speeds[1], 0.0);
+  expect_feasible_under(instance, s, kInf);
+}
+
+TEST(ClosedForm, JoinMirrorsFork) {
+  const std::vector<double> w{2.0, 1.0, 2.0, 3.0};
+  auto fork_instance = rc::make_instance(rg::make_fork(w), 5.0);
+  auto join_instance = rc::make_instance(rg::make_join(w), 5.0);
+  const auto f = rc::solve_fork(fork_instance, rm::ContinuousModel{kInf});
+  const auto j = rc::solve_join(join_instance, rm::ContinuousModel{kInf});
+  ASSERT_TRUE(f.feasible && j.feasible);
+  EXPECT_NEAR(f.energy, j.energy, 1e-12);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_NEAR(f.speeds[i], j.speeds[i], 1e-12);
+  expect_feasible_under(join_instance, j, kInf);
+}
+
+TEST(SpSolver, ForkAgreesWithClosedForm) {
+  const std::vector<double> w{2.0, 1.0, 2.0, 3.0};
+  auto instance = rc::make_instance(rg::make_fork(w), 5.0);
+  const auto closed = rc::solve_fork(instance, rm::ContinuousModel{kInf});
+  const auto sp = rc::solve_sp(instance);
+  ASSERT_TRUE(sp.feasible);
+  EXPECT_NEAR(sp.energy, closed.energy, 1e-10);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_NEAR(sp.speeds[i], closed.speeds[i], 1e-10);
+}
+
+TEST(SpSolver, EquivalentWeightOfFork) {
+  const std::vector<double> w{2.0, 1.0, 2.0, 3.0};
+  const auto g = rg::make_fork(w);
+  const auto tree = rg::sp_decompose(g);
+  ASSERT_TRUE(tree.has_value());
+  const double weq =
+      rc::sp_equivalent_weight(g, *tree, rm::PowerLaw(3.0));
+  EXPECT_NEAR(weq, 2.0 + std::cbrt(36.0), 1e-12);
+}
+
+TEST(SpSolver, EnergyIsWeqFormula) {
+  Rng rng(11);
+  const auto g = rg::make_random_series_parallel(15, rng);
+  auto instance = rc::make_instance(g, 20.0);
+  const auto tree = rg::sp_decompose(g);
+  ASSERT_TRUE(tree.has_value());
+  const auto s = rc::solve_sp(instance, *tree);
+  const double weq = rc::sp_equivalent_weight(g, *tree, instance.power);
+  EXPECT_NEAR(s.energy, std::pow(weq, 3.0) / (20.0 * 20.0),
+              1e-9 * (1.0 + s.energy));
+  expect_feasible_under(instance, s, kInf);
+}
+
+TEST(SpSolver, DeadlineSaturatedAtOptimum) {
+  Rng rng(12);
+  const auto g = rg::make_fork_join_chain(3, 3, rng);
+  auto instance = rc::make_instance(g, 30.0);
+  const auto s = rc::solve_sp(instance);
+  const auto durations = rs::durations_from_speeds(g, s.speeds);
+  EXPECT_NEAR(rs::compute_timing(g, durations).makespan, 30.0, 1e-8);
+}
+
+TEST(TreeSolver, ChainAgreesWithClosedForm) {
+  auto instance = rc::make_instance(rg::make_chain({1.0, 2.0, 3.0}), 3.0);
+  const auto chain = rc::solve_chain(instance, rm::ContinuousModel{kInf});
+  const auto tree = rc::solve_tree(instance, rm::ContinuousModel{kInf});
+  ASSERT_TRUE(tree.feasible);
+  EXPECT_NEAR(tree.energy, chain.energy, 1e-10);
+}
+
+TEST(TreeSolver, ForkAgreesWithClosedFormIncludingSaturation) {
+  const std::vector<double> w{4.0, 1.0, 1.5};
+  for (double deadline : {2.4, 3.0, 5.0}) {
+    auto instance = rc::make_instance(rg::make_fork(w), deadline);
+    for (double cap : {2.0, 3.0, kInf}) {
+      const auto closed = rc::solve_fork(instance, rm::ContinuousModel{cap});
+      const auto tree = rc::solve_tree(instance, rm::ContinuousModel{cap});
+      ASSERT_EQ(closed.feasible, tree.feasible)
+          << "D=" << deadline << " cap=" << cap;
+      if (!closed.feasible) continue;
+      EXPECT_NEAR(tree.energy, closed.energy, 1e-9 * (1.0 + closed.energy));
+      for (std::size_t i = 0; i < w.size(); ++i)
+        EXPECT_NEAR(tree.speeds[i], closed.speeds[i], 1e-9);
+    }
+  }
+}
+
+TEST(TreeSolver, InTreeMirrorsOutTree) {
+  Rng rng(13);
+  const auto out = rg::make_random_out_tree(25, rng);
+  auto out_instance = rc::make_instance(out, 30.0);
+  auto in_instance = rc::make_instance(out.reversed(), 30.0);
+  const auto a = rc::solve_tree(out_instance, rm::ContinuousModel{2.0});
+  const auto b = rc::solve_tree(in_instance, rm::ContinuousModel{2.0});
+  ASSERT_EQ(a.feasible, b.feasible);
+  if (a.feasible) {
+    EXPECT_NEAR(a.energy, b.energy, 1e-9 * (1.0 + a.energy));
+    expect_feasible_under(in_instance, b, 2.0);
+  }
+}
+
+TEST(TreeSolver, SpeedsDecreaseDownTheTree) {
+  Rng rng(14);
+  const auto g = rg::make_random_out_tree(30, rng);
+  auto instance = rc::make_instance(g, 40.0);
+  const auto s = rc::solve_tree(instance, rm::ContinuousModel{kInf});
+  ASSERT_TRUE(s.feasible);
+  for (const auto& e : g.edges()) {
+    if (g.weight(e.from) == 0.0 || g.weight(e.to) == 0.0) continue;
+    EXPECT_GE(s.speeds[e.from], s.speeds[e.to] - 1e-9);
+  }
+}
+
+TEST(TreeSolver, InfeasibleWhenDeadlineBelowCriticalPath) {
+  Rng rng(15);
+  const auto g = rg::make_random_out_tree(20, rng);
+  const double d_min = rc::min_deadline(g, 2.0);
+  auto instance = rc::make_instance(g, 0.8 * d_min);
+  EXPECT_FALSE(rc::solve_tree(instance, rm::ContinuousModel{2.0}).feasible);
+}
+
+TEST(NumericSolver, SingleTaskMatchesClosedForm) {
+  auto instance = rc::make_instance(rg::make_chain({6.0}), 3.0);
+  const auto s = rc::solve_numeric(instance, rm::ContinuousModel{kInf});
+  ASSERT_TRUE(s.feasible);
+  EXPECT_NEAR(s.speeds[0], 2.0, 1e-5);
+  EXPECT_NEAR(s.energy, 24.0, 1e-4);
+}
+
+TEST(NumericSolver, ForkMatchesTheorem1) {
+  const std::vector<double> w{2.0, 1.0, 2.0, 3.0};
+  auto instance = rc::make_instance(rg::make_fork(w), 5.0);
+  const auto closed = rc::solve_fork(instance, rm::ContinuousModel{kInf});
+  const auto numeric = rc::solve_numeric(instance, rm::ContinuousModel{kInf});
+  ASSERT_TRUE(numeric.feasible);
+  EXPECT_NEAR(numeric.energy, closed.energy, 1e-5 * closed.energy);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_NEAR(numeric.speeds[i], closed.speeds[i], 1e-4);
+}
+
+TEST(NumericSolver, ForkSaturatedMatchesClosedForm) {
+  const std::vector<double> w{4.0, 0.9, 0.8};
+  auto instance = rc::make_instance(rg::make_fork(w), 2.5);
+  const rm::ContinuousModel capped{2.0};
+  const auto closed = rc::solve_fork(instance, capped);
+  const auto numeric = rc::solve_numeric(instance, capped);
+  ASSERT_TRUE(closed.feasible && numeric.feasible);
+  EXPECT_NEAR(numeric.energy, closed.energy, 1e-5 * closed.energy);
+  expect_feasible_under(instance, numeric, 2.0);
+}
+
+TEST(NumericSolver, TreeAgreement) {
+  Rng rng(16);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = rg::make_random_out_tree(12, rng);
+    const double d = rc::min_deadline(g, 2.0) * rng.uniform(1.2, 3.0);
+    auto instance = rc::make_instance(g, d);
+    const auto tree = rc::solve_tree(instance, rm::ContinuousModel{2.0});
+    const auto numeric = rc::solve_numeric(instance, rm::ContinuousModel{2.0});
+    ASSERT_TRUE(tree.feasible && numeric.feasible) << "trial " << trial;
+    EXPECT_NEAR(numeric.energy, tree.energy, 2e-5 * tree.energy)
+        << "trial " << trial;
+  }
+}
+
+TEST(NumericSolver, SpAgreement) {
+  Rng rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = rg::make_random_series_parallel(10, rng);
+    auto instance = rc::make_instance(g, 25.0);
+    const auto sp = rc::solve_sp(instance);
+    const auto numeric = rc::solve_numeric(instance, rm::ContinuousModel{kInf});
+    ASSERT_TRUE(sp.feasible && numeric.feasible);
+    EXPECT_NEAR(numeric.energy, sp.energy, 2e-5 * sp.energy) << "trial " << trial;
+  }
+}
+
+TEST(NumericSolver, GeneralDagFeasibleAndDeadlineTight) {
+  Rng rng(18);
+  const auto g = rg::make_stencil(4, 4, rng);
+  const double d = rc::min_deadline(g, 3.0) * 1.8;
+  auto instance = rc::make_instance(g, d);
+  const auto s = rc::solve_numeric(instance, rm::ContinuousModel{3.0});
+  ASSERT_TRUE(s.feasible);
+  expect_feasible_under(instance, s, 3.0);
+  // At the optimum the deadline is tight (energy strictly decreases in D).
+  const auto durations = rs::durations_from_speeds(g, s.speeds);
+  EXPECT_NEAR(rs::compute_timing(g, durations).makespan, d, 1e-5 * d);
+}
+
+TEST(NumericSolver, InfeasibleDetection) {
+  Rng rng(19);
+  const auto g = rg::make_stencil(3, 3, rng);
+  const double d_min = rc::min_deadline(g, 2.0);
+  auto instance = rc::make_instance(g, 0.9 * d_min);
+  EXPECT_FALSE(rc::solve_numeric(instance, rm::ContinuousModel{2.0}).feasible);
+}
+
+TEST(NumericSolver, BoundaryDeadlineReturnsAllSmax) {
+  Rng rng(20);
+  const auto g = rg::make_stencil(3, 3, rng);
+  const double d_min = rc::min_deadline(g, 2.0);
+  auto instance = rc::make_instance(g, d_min);
+  const auto s = rc::solve_numeric(instance, rm::ContinuousModel{2.0});
+  ASSERT_TRUE(s.feasible);
+  for (rg::NodeId v = 0; v < g.num_nodes(); ++v)
+    if (g.weight(v) > 0.0) EXPECT_DOUBLE_EQ(s.speeds[v], 2.0);
+}
+
+TEST(NumericSolver, SpeedFloorIsHonoured) {
+  Rng rng(21);
+  const auto g = rg::make_stencil(3, 3, rng);
+  const double d = rc::min_deadline(g, 2.0) * 4.0;  // lots of slack
+  auto instance = rc::make_instance(g, d);
+  rc::NumericOptions options;
+  options.s_min = 1.0;
+  const auto s = rc::solve_numeric(instance, rm::ContinuousModel{2.0}, options);
+  ASSERT_TRUE(s.feasible);
+  for (rg::NodeId v = 0; v < g.num_nodes(); ++v)
+    if (g.weight(v) > 0.0) EXPECT_GE(s.speeds[v], 1.0 - 1e-6);
+}
+
+TEST(NumericSolver, ZeroWeightTasksSupported) {
+  rg::Digraph g;
+  g.add_node(2.0);
+  g.add_node(0.0);
+  g.add_node(3.0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  auto instance = rc::make_instance(g, 5.0);
+  const auto s = rc::solve_numeric(instance, rm::ContinuousModel{kInf});
+  ASSERT_TRUE(s.feasible);
+  // Energetically a 2-task chain of total weight 5 and deadline 5.
+  EXPECT_NEAR(s.energy, 5.0 * 1.0, 1e-4);
+}
+
+TEST(NumericSolver, AllZeroWeights) {
+  rg::Digraph g(3, 0.0);
+  g.add_edge(0, 1);
+  auto instance = rc::make_instance(g, 1.0);
+  const auto s = rc::solve_numeric(instance, rm::ContinuousModel{2.0});
+  ASSERT_TRUE(s.feasible);
+  EXPECT_DOUBLE_EQ(s.energy, 0.0);
+}
+
+TEST(Dispatch, PicksClosedFormsAndAgreesWithNumeric) {
+  Rng rng(22);
+  const struct {
+    rg::Digraph graph;
+    const char* expected;
+  } cases[] = {
+      {rg::make_chain(6, rng), "closed-form-chain"},
+      {rg::make_fork(5, rng), "closed-form-fork"},
+      {rg::make_join(5, rng), "closed-form-join"},
+      {rg::make_random_out_tree(12, rng), "tree"},
+      {rg::make_random_series_parallel(12, rng), "series-parallel"},
+      {rg::make_stencil(3, 3, rng), "numeric-barrier"},
+  };
+  for (const auto& c : cases) {
+    const double d = rc::min_deadline(c.graph, 2.0) * 2.0;
+    auto instance = rc::make_instance(c.graph, d);
+    const auto fancy =
+        rc::solve_continuous(instance, rm::ContinuousModel{kInf});
+    EXPECT_EQ(fancy.method, c.expected);
+    rc::ContinuousOptions force;
+    force.force_numeric = true;
+    const auto numeric =
+        rc::solve_continuous(instance, rm::ContinuousModel{kInf}, force);
+    ASSERT_TRUE(fancy.feasible && numeric.feasible);
+    EXPECT_NEAR(numeric.energy, fancy.energy, 3e-5 * fancy.energy)
+        << c.expected;
+  }
+}
+
+TEST(Dispatch, SpWithBindingCapFallsBackToNumeric) {
+  Rng rng(23);
+  const auto g = rg::make_diamond(3, rng);
+  const double d_min = rc::min_deadline(g, 2.0);
+  auto instance = rc::make_instance(g, 1.05 * d_min);  // cap must bind
+  const auto s = rc::solve_continuous(instance, rm::ContinuousModel{2.0});
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.method, "numeric-barrier");
+  expect_feasible_under(instance, s, 2.0);
+}
+
+TEST(Dispatch, EmptyGraphTrivial) {
+  auto instance = rc::make_instance(rg::Digraph{}, 1.0);
+  const auto s = rc::solve_continuous(instance, rm::ContinuousModel{1.0});
+  EXPECT_TRUE(s.feasible);
+  EXPECT_DOUBLE_EQ(s.energy, 0.0);
+}
+
+TEST(Dispatch, GeneralizedExponentAgreement) {
+  Rng rng(24);
+  const auto g = rg::make_fork(4, rng);
+  for (double alpha : {1.5, 2.0, 2.5}) {
+    const double d = rc::min_deadline(g, 2.0) * 2.0;
+    auto instance = rc::make_instance(g, d, alpha);
+    const auto closed = rc::solve_fork(instance, rm::ContinuousModel{kInf});
+    rc::ContinuousOptions force;
+    force.force_numeric = true;
+    const auto numeric =
+        rc::solve_continuous(instance, rm::ContinuousModel{kInf}, force);
+    ASSERT_TRUE(closed.feasible && numeric.feasible) << alpha;
+    EXPECT_NEAR(numeric.energy, closed.energy, 3e-5 * closed.energy)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(MonotoneInDeadline, EnergyDecreasesWithSlack) {
+  Rng rng(25);
+  const auto g = rg::make_layered(4, 3, 0.5, rng);
+  const double d_min = rc::min_deadline(g, 2.0);
+  double previous = kInf;
+  for (double factor : {1.1, 1.5, 2.0, 3.0, 5.0}) {
+    auto instance = rc::make_instance(g, factor * d_min);
+    const auto s = rc::solve_continuous(instance, rm::ContinuousModel{2.0});
+    ASSERT_TRUE(s.feasible);
+    EXPECT_LE(s.energy, previous * (1.0 + 1e-9));
+    previous = s.energy;
+  }
+}

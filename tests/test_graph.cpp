@@ -1,0 +1,308 @@
+// Unit tests for graph/: container invariants, topological algorithms,
+// classification, generators, DOT export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/classify.hpp"
+#include "graph/digraph.hpp"
+#include "graph/dot.hpp"
+#include "graph/generators.hpp"
+#include "graph/sp_tree.hpp"
+#include "graph/topo.hpp"
+#include "util/error.hpp"
+
+namespace rg = reclaim::graph;
+using reclaim::util::Rng;
+
+namespace {
+
+/// Checks a topological order: every edge goes forward.
+void expect_valid_topo(const rg::Digraph& g) {
+  const auto order = rg::topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> pos(g.num_nodes());
+  for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  for (const auto& e : g.edges()) EXPECT_LT(pos[e.from], pos[e.to]);
+}
+
+}  // namespace
+
+TEST(Digraph, AddNodesAndEdges) {
+  rg::Digraph g;
+  const auto a = g.add_node(2.0, "a");
+  const auto b = g.add_node(3.0);
+  g.add_edge(a, b);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(a, b));
+  EXPECT_FALSE(g.has_edge(b, a));
+  EXPECT_EQ(g.name(a), "a");
+  EXPECT_DOUBLE_EQ(g.weight(b), 3.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 5.0);
+}
+
+TEST(Digraph, RejectsBadEdges) {
+  rg::Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), reclaim::InvalidArgument);  // duplicate
+  EXPECT_THROW(g.add_edge(0, 0), reclaim::InvalidArgument);  // self loop
+  EXPECT_THROW(g.add_edge(0, 5), reclaim::InvalidArgument);  // unknown node
+  EXPECT_FALSE(g.add_edge_if_absent(0, 1));
+  EXPECT_TRUE(g.add_edge_if_absent(1, 0));
+}
+
+TEST(Digraph, RejectsNegativeWeights) {
+  rg::Digraph g;
+  EXPECT_THROW(g.add_node(-1.0), reclaim::InvalidArgument);
+  const auto v = g.add_node(1.0);
+  EXPECT_THROW(g.set_weight(v, -2.0), reclaim::InvalidArgument);
+}
+
+TEST(Digraph, SourcesSinksAndReverse) {
+  rg::Digraph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.sources(), (std::vector<rg::NodeId>{0, 1}));
+  EXPECT_EQ(g.sinks(), (std::vector<rg::NodeId>{3}));
+  const auto r = g.reversed();
+  EXPECT_EQ(r.sources(), (std::vector<rg::NodeId>{3}));
+  EXPECT_EQ(r.sinks(), (std::vector<rg::NodeId>{0, 1}));
+  EXPECT_EQ(r.num_edges(), 3u);
+  EXPECT_TRUE(r.has_edge(3, 2));
+}
+
+TEST(Topo, OrderOnDagAndCycleDetection) {
+  rg::Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  expect_valid_topo(g);
+  EXPECT_TRUE(rg::is_acyclic(g));
+  g.add_edge(2, 0);
+  EXPECT_FALSE(rg::is_acyclic(g));
+  EXPECT_FALSE(rg::topological_order(g).has_value());
+}
+
+TEST(Topo, OrderIsCanonical) {
+  rg::Digraph g(4);
+  g.add_edge(3, 1);
+  const auto order = rg::topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  // Smallest-id-first Kahn: 0, 2, 3 ready initially.
+  EXPECT_EQ(*order, (std::vector<rg::NodeId>{0, 2, 3, 1}));
+}
+
+TEST(Topo, LongestPathsOnDiamond) {
+  // 0 -> {1 w=5, 2 w=1} -> 3.
+  rg::Digraph g;
+  g.add_node(1.0);
+  g.add_node(5.0);
+  g.add_node(1.0);
+  g.add_node(2.0);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const auto to = rg::longest_path_to(g);
+  EXPECT_DOUBLE_EQ(to[0], 1.0);
+  EXPECT_DOUBLE_EQ(to[1], 6.0);
+  EXPECT_DOUBLE_EQ(to[3], 8.0);
+  const auto from = rg::longest_path_from(g);
+  EXPECT_DOUBLE_EQ(from[0], 8.0);
+  EXPECT_DOUBLE_EQ(from[2], 3.0);
+  const auto cp = rg::critical_path(g);
+  EXPECT_DOUBLE_EQ(cp.length, 8.0);
+  EXPECT_EQ(cp.nodes, (std::vector<rg::NodeId>{0, 1, 3}));
+}
+
+TEST(Topo, CriticalPathSingleNode) {
+  rg::Digraph g;
+  g.add_node(4.2);
+  const auto cp = rg::critical_path(g);
+  EXPECT_DOUBLE_EQ(cp.length, 4.2);
+  EXPECT_EQ(cp.nodes.size(), 1u);
+}
+
+TEST(Topo, TransitiveClosureAndReduction) {
+  rg::Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);  // implied
+  const auto reach = rg::transitive_closure(g);
+  EXPECT_TRUE(reach[0][2]);
+  EXPECT_TRUE(reach[0][1]);
+  EXPECT_FALSE(reach[2][0]);
+  const auto reduced = rg::transitive_reduction(g);
+  EXPECT_EQ(reduced.num_edges(), 2u);
+  EXPECT_FALSE(reduced.has_edge(0, 2));
+}
+
+TEST(Topo, WeakConnectivity) {
+  rg::Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(rg::is_weakly_connected(g));
+  g.add_edge(1, 2);
+  EXPECT_TRUE(rg::is_weakly_connected(g));
+}
+
+TEST(Classify, RecognizesBasicShapes) {
+  Rng rng(1);
+  EXPECT_EQ(rg::classify(rg::make_chain(5, rng)), rg::GraphShape::kChain);
+  EXPECT_EQ(rg::classify(rg::make_fork(4, rng)), rg::GraphShape::kFork);
+  EXPECT_EQ(rg::classify(rg::make_join(4, rng)), rg::GraphShape::kJoin);
+  rg::Digraph single;
+  single.add_node(1.0);
+  EXPECT_EQ(rg::classify(single), rg::GraphShape::kSingleTask);
+  EXPECT_EQ(rg::classify(rg::Digraph{}), rg::GraphShape::kEmpty);
+}
+
+TEST(Classify, TreesAndSp) {
+  Rng rng(2);
+  const auto out_tree = rg::make_random_out_tree(20, rng);
+  EXPECT_TRUE(rg::is_out_tree(out_tree));
+  // A 20-node random tree is exceedingly unlikely to be a chain/fork.
+  EXPECT_EQ(rg::classify(out_tree), rg::GraphShape::kOutTree);
+  const auto in_tree = rg::make_random_in_tree(20, rng);
+  EXPECT_EQ(rg::classify(in_tree), rg::GraphShape::kInTree);
+  const auto diamond = rg::make_diamond(3, rng);
+  EXPECT_EQ(rg::classify(diamond), rg::GraphShape::kSeriesParallel);
+}
+
+TEST(Classify, StencilIsGeneral) {
+  Rng rng(3);
+  const auto stencil = rg::make_stencil(3, 3, rng);
+  EXPECT_EQ(rg::classify(stencil), rg::GraphShape::kGeneral);
+}
+
+TEST(Classify, ToStringCoversShapes) {
+  EXPECT_EQ(rg::to_string(rg::GraphShape::kChain), "chain");
+  EXPECT_EQ(rg::to_string(rg::GraphShape::kGeneral), "general");
+  EXPECT_EQ(rg::to_string(rg::GraphShape::kSeriesParallel), "series-parallel");
+}
+
+TEST(Generators, ChainShape) {
+  const auto g = rg::make_chain({1.0, 2.0, 3.0});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(rg::is_chain(g));
+  EXPECT_DOUBLE_EQ(g.weight(1), 2.0);
+}
+
+TEST(Generators, ForkAndJoinShapes) {
+  const auto fork = rg::make_fork({1.0, 2.0, 3.0, 4.0});
+  EXPECT_TRUE(rg::is_fork(fork));
+  EXPECT_EQ(fork.out_degree(0), 3u);
+  const auto join = rg::make_join({1.0, 2.0, 3.0});
+  EXPECT_TRUE(rg::is_join(join));
+  EXPECT_EQ(join.in_degree(0), 2u);
+}
+
+TEST(Generators, LayeredIsConnectedAcyclic) {
+  Rng rng(4);
+  const auto g = rg::make_layered(5, 4, 0.4, rng);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  expect_valid_topo(g);
+  // Every non-first-layer node has a predecessor.
+  for (rg::NodeId v = 4; v < 20; ++v) EXPECT_GE(g.in_degree(v), 1u);
+}
+
+TEST(Generators, ErdosRenyiAcyclic) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = rg::make_erdos_renyi_dag(30, 0.3, rng);
+    EXPECT_TRUE(rg::is_acyclic(g));
+  }
+}
+
+TEST(Generators, RandomSpIsSeriesParallel) {
+  Rng rng(6);
+  for (std::size_t n : {1u, 2u, 5u, 12u, 30u}) {
+    const auto g = rg::make_random_series_parallel(n, rng);
+    EXPECT_TRUE(rg::is_acyclic(g));
+    EXPECT_TRUE(rg::is_series_parallel(g)) << "n=" << n;
+  }
+}
+
+TEST(Generators, ForkJoinChainIsSp) {
+  Rng rng(7);
+  const auto g = rg::make_fork_join_chain(3, 4, rng);
+  EXPECT_EQ(g.num_nodes(), 3u * 6u);
+  EXPECT_TRUE(rg::is_series_parallel(g));
+}
+
+TEST(Generators, TiledCholeskyStructure) {
+  const auto g = rg::make_tiled_cholesky(4);
+  // t POTRF + sum_k (t-1-k) TRSM + SYRK + GEMMs.
+  EXPECT_EQ(g.num_nodes(), 20u);  // 4 + 6 + 6 + 4
+  expect_valid_topo(g);
+  EXPECT_TRUE(rg::is_weakly_connected(g));
+  // The first POTRF is the unique source.
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.name(g.sources().front()), "POTRF(0)");
+}
+
+TEST(Generators, TiledLuStructure) {
+  const auto g = rg::make_tiled_lu(3);
+  // k=0: 1+2+2+4; k=1: 1+1+1+1; k=2: 1  => 14 tasks.
+  EXPECT_EQ(g.num_nodes(), 14u);
+  expect_valid_topo(g);
+  EXPECT_EQ(g.sources().size(), 1u);
+}
+
+TEST(Generators, FftStructure) {
+  const auto g = rg::make_fft(3);  // 8 points, 3 stages + loads
+  EXPECT_EQ(g.num_nodes(), 32u);
+  expect_valid_topo(g);
+  // All loads are sources; all last-stage tasks are sinks.
+  EXPECT_EQ(g.sources().size(), 8u);
+  EXPECT_EQ(g.sinks().size(), 8u);
+  // Butterfly tasks have exactly two predecessors.
+  for (rg::NodeId v = 8; v < 32; ++v) EXPECT_EQ(g.in_degree(v), 2u);
+}
+
+TEST(Generators, StencilWavefront) {
+  Rng rng(8);
+  const auto g = rg::make_stencil(3, 4, rng);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  expect_valid_topo(g);
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(g.num_edges(), 2u * 3u * 4u - 3u - 4u);
+}
+
+TEST(Generators, DeterministicInSeed) {
+  Rng rng1(99), rng2(99);
+  const auto a = rg::make_layered(4, 3, 0.5, rng1);
+  const auto b = rg::make_layered(4, 3, 0.5, rng2);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (rg::NodeId v = 0; v < a.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(a.weight(v), b.weight(v));
+    EXPECT_EQ(a.successors(v), b.successors(v));
+  }
+}
+
+TEST(Generators, InvalidArguments) {
+  Rng rng(1);
+  EXPECT_THROW((void)rg::make_chain(std::vector<double>{}), reclaim::InvalidArgument);
+  EXPECT_THROW((void)rg::make_fork({1.0}), reclaim::InvalidArgument);
+  EXPECT_THROW((void)rg::make_layered(0, 3, 0.5, rng), reclaim::InvalidArgument);
+  EXPECT_THROW((void)rg::make_layered(3, 3, 1.5, rng), reclaim::InvalidArgument);
+  EXPECT_THROW((void)rg::make_tiled_cholesky(0), reclaim::InvalidArgument);
+  rg::WeightRange bad{5.0, 1.0};
+  EXPECT_THROW((void)rg::make_chain(3, rng, bad), reclaim::InvalidArgument);
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+  rg::Digraph g;
+  g.add_node(1.5, "first");
+  g.add_node(2.0);
+  g.add_edge(0, 1);
+  const auto dot = rg::to_dot(g, "demo");
+  EXPECT_NE(dot.find("digraph \"demo\""), std::string::npos);
+  EXPECT_NE(dot.find("first"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}

@@ -1,0 +1,207 @@
+// End-to-end integration tests: task graph -> mapping -> execution graph
+// -> MinEnergy under every model, with the full cross-model ordering chain
+// the theory implies, on realistic application DAGs.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/baselines.hpp"
+#include "core/continuous/dispatch.hpp"
+#include "core/discrete/exact_bb.hpp"
+#include "core/discrete/round_up.hpp"
+#include "core/problem.hpp"
+#include "core/vdd/lp_solver.hpp"
+#include "core/vdd/two_mode.hpp"
+#include "graph/generators.hpp"
+#include "sched/execution_graph.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rc = reclaim::core;
+namespace rg = reclaim::graph;
+namespace rm = reclaim::model;
+namespace rs = reclaim::sched;
+using reclaim::util::Rng;
+
+namespace {
+
+/// Builds the execution graph of `g` list-scheduled on `p` processors and
+/// an instance with deadline = slack * list-schedule makespan at s_max.
+rc::Instance pipeline_instance(const rg::Digraph& g, std::size_t p,
+                               double s_max, double slack) {
+  const auto schedule = rs::list_schedule(g, p, s_max);
+  const auto exec = rs::build_execution_graph(g, schedule.mapping);
+  return rc::make_instance(exec, slack * schedule.makespan);
+}
+
+}  // namespace
+
+TEST(Pipeline, CholeskyEndToEnd) {
+  const auto g = rg::make_tiled_cholesky(4);
+  auto instance = pipeline_instance(g, 3, 2.0, 1.5);
+  const rm::ModeSet modes({0.5, 1.0, 1.5, 2.0});
+
+  const auto cont = rc::solve_continuous(instance, rm::ContinuousModel{2.0});
+  const auto vdd = rc::solve_vdd_lp(instance, rm::VddHoppingModel{modes});
+  const auto round = rc::solve_round_up(instance, modes);
+  const auto nodvfs =
+      rc::solve_no_dvfs(instance, rm::DiscreteModel{modes});
+  const auto uniform =
+      rc::solve_uniform(instance, rm::DiscreteModel{modes});
+
+  ASSERT_TRUE(cont.feasible);
+  ASSERT_TRUE(vdd.solution.feasible);
+  ASSERT_TRUE(round.solution.feasible);
+  ASSERT_TRUE(nodvfs.feasible);
+  ASSERT_TRUE(uniform.feasible);
+
+  // The theory's ordering chain.
+  EXPECT_LE(cont.energy, vdd.solution.energy * (1.0 + 1e-7));
+  EXPECT_LE(vdd.solution.energy, round.solution.energy * (1.0 + 1e-7));
+  EXPECT_LE(round.solution.energy, nodvfs.energy * (1.0 + 1e-7));
+  EXPECT_LE(uniform.energy, nodvfs.energy * (1.0 + 1e-7));
+
+  // Reclaiming is worthwhile: with 1.5x slack, the continuous optimum
+  // saves a lot over running flat out.
+  EXPECT_LT(cont.energy, 0.7 * nodvfs.energy);
+}
+
+TEST(Pipeline, LuWithVddProfilesValidates) {
+  const auto g = rg::make_tiled_lu(3);
+  auto instance = pipeline_instance(g, 2, 2.0, 1.4);
+  const rm::VddHoppingModel model{rm::ModeSet({0.5, 1.0, 2.0})};
+  const auto vdd = rc::solve_vdd_lp(instance, model);
+  ASSERT_TRUE(vdd.solution.feasible);
+  rs::validate_profiles(instance.exec_graph, vdd.solution.profiles,
+                        rm::EnergyModel{model}, instance.deadline, 1e-6);
+  const auto two_mode = rc::solve_vdd_two_mode(instance, model);
+  ASSERT_TRUE(two_mode.feasible);
+  EXPECT_GE(two_mode.energy, vdd.solution.energy * (1.0 - 1e-7));
+}
+
+TEST(Pipeline, FftMoreProcessorsMoreParallelSlack) {
+  const auto g = rg::make_fft(3);
+  // Same absolute deadline; more processors => shorter list schedule =>
+  // more reclaimable slack => lower energy.
+  const double deadline = rs::list_schedule(g, 1, 2.0).makespan;  // serial time
+  double previous = std::numeric_limits<double>::infinity();
+  for (std::size_t p : {1u, 2u, 4u}) {
+    const auto schedule = rs::list_schedule(g, p, 2.0);
+    const auto exec = rs::build_execution_graph(g, schedule.mapping);
+    auto instance = rc::make_instance(exec, deadline);
+    const auto cont = rc::solve_continuous(instance, rm::ContinuousModel{2.0});
+    ASSERT_TRUE(cont.feasible) << p;
+    EXPECT_LE(cont.energy, previous * (1.0 + 1e-9)) << p;
+    previous = cont.energy;
+  }
+}
+
+TEST(Pipeline, StencilRoundRobinVsListMapping) {
+  Rng rng(61);
+  const auto g = rg::make_stencil(4, 4, rng);
+  const double s_max = 2.0;
+  // A fixed absolute deadline derived from the list schedule.
+  const auto list = rs::list_schedule(g, 2, s_max);
+  const double deadline = 1.5 * list.makespan;
+
+  const auto exec_list = rs::build_execution_graph(g, list.mapping);
+  auto list_instance = rc::make_instance(exec_list, deadline);
+  const auto e_list =
+      rc::solve_continuous(list_instance, rm::ContinuousModel{s_max});
+
+  const auto exec_rr =
+      rs::build_execution_graph(g, rs::round_robin_mapping(g, 2));
+  auto rr_instance = rc::make_instance(exec_rr, deadline);
+  const auto e_rr =
+      rc::solve_continuous(rr_instance, rm::ContinuousModel{s_max});
+
+  // Both mappings must be solvable; the list mapping's execution graph has
+  // a shorter critical path, so it can only reclaim more (or equal).
+  ASSERT_TRUE(e_list.feasible);
+  if (e_rr.feasible) {
+    EXPECT_LE(e_list.energy, e_rr.energy * (1.0 + 1e-7));
+  }
+}
+
+TEST(Pipeline, SingleProcessorChainBehavesLikeChain) {
+  Rng rng(62);
+  const auto g = rg::make_layered(3, 3, 0.5, rng);
+  const auto exec =
+      rs::build_execution_graph(g, rs::single_processor_mapping(g));
+  const double total = g.total_weight();
+  auto instance = rc::make_instance(exec, total);  // uniform speed 1 fits
+  const auto cont = rc::solve_continuous(instance, rm::ContinuousModel{2.0});
+  ASSERT_TRUE(cont.feasible);
+  // On one processor the optimum runs everything at total/D = 1.
+  for (rg::NodeId v = 0; v < exec.num_nodes(); ++v)
+    if (exec.weight(v) > 0.0) EXPECT_NEAR(cont.speeds[v], 1.0, 1e-5);
+  EXPECT_NEAR(cont.energy, total, 1e-4 * total);
+}
+
+TEST(Pipeline, TighterDeadlineCostsMore) {
+  const auto g = rg::make_tiled_cholesky(3);
+  const auto schedule = rs::list_schedule(g, 2, 2.0);
+  const auto exec = rs::build_execution_graph(g, schedule.mapping);
+  const rm::ModeSet modes({0.5, 1.0, 1.5, 2.0});
+  double previous = 0.0;
+  for (double slack : {3.0, 2.0, 1.5, 1.2, 1.05}) {
+    auto instance = rc::make_instance(exec, slack * schedule.makespan);
+    const auto round = rc::solve_round_up(instance, modes);
+    ASSERT_TRUE(round.solution.feasible) << slack;
+    EXPECT_GE(round.solution.energy, previous * (1.0 - 1e-9)) << slack;
+    previous = round.solution.energy;
+  }
+}
+
+TEST(Pipeline, InfeasibleMappingOrderSurfacesEarly) {
+  rg::Digraph g(2, 1.0);
+  g.add_edge(0, 1);
+  rs::Mapping bad(2);
+  bad.assign(0, 1);
+  bad.assign(0, 0);
+  EXPECT_THROW((void)rs::build_execution_graph(g, bad),
+               reclaim::InvalidArgument);
+}
+
+TEST(Pipeline, BaselinesOnInfeasibleDeadline) {
+  const auto g = rg::make_tiled_cholesky(3);
+  const auto schedule = rs::list_schedule(g, 2, 2.0);
+  const auto exec = rs::build_execution_graph(g, schedule.mapping);
+  auto instance = rc::make_instance(exec, 0.5 * schedule.makespan);
+  const rm::ModeSet modes({1.0, 2.0});
+  EXPECT_FALSE(rc::solve_no_dvfs(instance, rm::DiscreteModel{modes}).feasible);
+  EXPECT_FALSE(rc::solve_uniform(instance, rm::DiscreteModel{modes}).feasible);
+  EXPECT_FALSE(
+      rc::solve_continuous(instance, rm::ContinuousModel{2.0}).feasible);
+}
+
+TEST(Pipeline, UniformBaselineContinuousVsDiscrete) {
+  const auto g = rg::make_chain({2.0, 2.0, 2.0});
+  auto instance = rc::make_instance(g, 8.0);
+  // Continuous uniform: speed 6/8 = 0.75.
+  const auto cont_uniform =
+      rc::solve_uniform(instance, rm::ContinuousModel{2.0});
+  ASSERT_TRUE(cont_uniform.feasible);
+  EXPECT_NEAR(cont_uniform.speeds[0], 0.75, 1e-12);
+  // Discrete uniform rounds up to the next mode.
+  const auto disc_uniform =
+      rc::solve_uniform(instance, rm::DiscreteModel{rm::ModeSet({0.5, 1.0, 2.0})});
+  ASSERT_TRUE(disc_uniform.feasible);
+  EXPECT_DOUBLE_EQ(disc_uniform.speeds[0], 1.0);
+  // On a chain the continuous uniform baseline IS the continuous optimum.
+  const auto cont = rc::solve_continuous(instance, rm::ContinuousModel{2.0});
+  EXPECT_NEAR(cont.energy, cont_uniform.energy, 1e-9);
+}
+
+TEST(Pipeline, EnergyRatioHelpers) {
+  auto instance = rc::make_instance(rg::make_chain({2.0, 2.0}), 4.0);
+  const auto cont = rc::solve_continuous(instance, rm::ContinuousModel{2.0});
+  const auto nodvfs = rc::solve_no_dvfs(
+      instance, rm::DiscreteModel{rm::ModeSet({1.0, 2.0})});
+  ASSERT_TRUE(cont.feasible && nodvfs.feasible);
+  const double ratio = rc::energy_ratio(nodvfs, cont);
+  EXPECT_GE(ratio, 1.0);
+  // Chain at uniform speed 1 vs all at 2: energies 4 vs 16 -> ratio 4.
+  EXPECT_NEAR(ratio, 4.0, 1e-6);
+}

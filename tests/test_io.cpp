@@ -1,0 +1,146 @@
+// Unit tests for io/: task-graph and mapping parsing, round trips,
+// solution output, and malformed-input diagnostics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/continuous/dispatch.hpp"
+#include "core/problem.hpp"
+#include "graph/generators.hpp"
+#include "io/graph_io.hpp"
+#include "sched/execution_graph.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ri = reclaim::io;
+namespace rg = reclaim::graph;
+namespace rc = reclaim::core;
+namespace rs = reclaim::sched;
+namespace rm = reclaim::model;
+using reclaim::util::Rng;
+
+namespace {
+
+constexpr const char* kDiamond = R"(
+# a diamond
+task a 2.0
+task b 3.5
+task c 1.0
+task d 4.0
+edge a b
+edge a c
+edge b d
+edge c d
+)";
+
+}  // namespace
+
+TEST(GraphIo, ParsesTasksAndEdges) {
+  const auto g = ri::read_task_graph_from_string(kDiamond);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.name(0), "a");
+  EXPECT_DOUBLE_EQ(g.weight(1), 3.5);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(GraphIo, IgnoresCommentsAndBlankLines) {
+  const auto g = ri::read_task_graph_from_string(
+      "task x 1  # trailing comment\n\n   \n# full comment\ntask y 2\n");
+  EXPECT_EQ(g.num_nodes(), 2u);
+}
+
+TEST(GraphIo, RoundTrip) {
+  Rng rng(1);
+  const auto original = rg::make_layered(3, 3, 0.6, rng);
+  std::ostringstream out;
+  ri::write_task_graph(out, original);
+  const auto parsed = ri::read_task_graph_from_string(out.str());
+  ASSERT_EQ(parsed.num_nodes(), original.num_nodes());
+  ASSERT_EQ(parsed.num_edges(), original.num_edges());
+  for (rg::NodeId v = 0; v < original.num_nodes(); ++v) {
+    EXPECT_NEAR(parsed.weight(v), original.weight(v), 1e-9);
+    EXPECT_EQ(parsed.successors(v), original.successors(v));
+  }
+}
+
+TEST(GraphIo, ErrorsCarryLineNumbers) {
+  try {
+    (void)ri::read_task_graph_from_string("task a 1\nbogus b c\n");
+    FAIL() << "expected a throw";
+  } catch (const reclaim::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  EXPECT_THROW((void)ri::read_task_graph_from_string("task a\n"),
+               reclaim::InvalidArgument);  // missing weight
+  EXPECT_THROW((void)ri::read_task_graph_from_string("task a -1\n"),
+               reclaim::InvalidArgument);  // negative weight
+  EXPECT_THROW((void)ri::read_task_graph_from_string("task a 1x\n"),
+               reclaim::InvalidArgument);  // trailing junk
+  EXPECT_THROW((void)ri::read_task_graph_from_string("task a 1\ntask a 2\n"),
+               reclaim::InvalidArgument);  // duplicate name
+  EXPECT_THROW((void)ri::read_task_graph_from_string("edge a b\n"),
+               reclaim::InvalidArgument);  // unknown endpoints
+  EXPECT_THROW((void)ri::read_task_graph_from_string(
+                   "task a 1\ntask b 1\nedge a b\nedge a b\n"),
+               reclaim::InvalidArgument);  // duplicate edge
+}
+
+TEST(MappingIo, ParsesAndRoundTrips) {
+  const auto g = ri::read_task_graph_from_string(kDiamond);
+  const auto mapping =
+      ri::read_mapping_from_string("proc a b d\nproc c\n", g);
+  EXPECT_EQ(mapping.num_processors(), 2u);
+  EXPECT_EQ(mapping.tasks_on(0), (std::vector<rg::NodeId>{0, 1, 3}));
+  EXPECT_EQ(mapping.tasks_on(1), (std::vector<rg::NodeId>{2}));
+
+  std::ostringstream out;
+  ri::write_mapping(out, mapping, g);
+  const auto reparsed = ri::read_mapping_from_string(out.str(), g);
+  EXPECT_EQ(reparsed.tasks_on(0), mapping.tasks_on(0));
+  EXPECT_EQ(reparsed.tasks_on(1), mapping.tasks_on(1));
+
+  // The parsed mapping builds a valid execution graph.
+  EXPECT_NO_THROW((void)rs::build_execution_graph(g, mapping));
+}
+
+TEST(MappingIo, RejectsUnknownTasksAndDirectives) {
+  const auto g = ri::read_task_graph_from_string(kDiamond);
+  EXPECT_THROW((void)ri::read_mapping_from_string("proc nope\n", g),
+               reclaim::InvalidArgument);
+  EXPECT_THROW((void)ri::read_mapping_from_string("cpu a\n", g),
+               reclaim::InvalidArgument);
+  EXPECT_THROW((void)ri::read_mapping_from_string("", g),
+               reclaim::InvalidArgument);
+}
+
+TEST(SolutionIo, ConstantSpeedOutput) {
+  const auto g = ri::read_task_graph_from_string("task a 2\ntask b 2\nedge a b\n");
+  auto instance = rc::make_instance(g, 4.0);
+  const auto s = rc::solve_continuous(instance, rm::ContinuousModel{2.0});
+  std::ostringstream out;
+  ri::write_solution(out, instance, s);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("a 1 2"), std::string::npos);  // speed 1, energy w*s^2=2
+  EXPECT_NE(text.find("total 4"), std::string::npos);
+}
+
+TEST(SolutionIo, InfeasibleOutput) {
+  const auto g = ri::read_task_graph_from_string("task a 2\n");
+  auto instance = rc::make_instance(g, 4.0);
+  std::ostringstream out;
+  ri::write_solution(out, instance, rc::infeasible_solution("x"));
+  EXPECT_EQ(out.str(), "infeasible\n");
+}
+
+TEST(SolutionIo, UnnamedTasksGetSyntheticNames) {
+  rg::Digraph g(2, 1.0);
+  std::ostringstream out;
+  ri::write_task_graph(out, g);
+  EXPECT_NE(out.str().find("task T0 1"), std::string::npos);
+  EXPECT_NE(out.str().find("task T1 1"), std::string::npos);
+}

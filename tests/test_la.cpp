@@ -1,0 +1,179 @@
+// Unit tests for la/: dense matrix ops, Cholesky, LU.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/cholesky.hpp"
+#include "la/lu.hpp"
+#include "la/matrix.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace la = reclaim::la;
+
+namespace {
+
+la::Matrix random_matrix(std::size_t n, reclaim::util::Rng& rng) {
+  la::Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) m(r, c) = rng.uniform(-2.0, 2.0);
+  return m;
+}
+
+la::Matrix random_spd(std::size_t n, reclaim::util::Rng& rng) {
+  // A^T A + n I is comfortably SPD.
+  const la::Matrix a = random_matrix(n, rng);
+  la::Matrix spd = a.transposed().multiply(a);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+la::Vector random_vector(std::size_t n, reclaim::util::Rng& rng) {
+  la::Vector v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+}  // namespace
+
+TEST(Matrix, IdentityMultiply) {
+  const auto eye = la::Matrix::identity(4);
+  const la::Vector x{1.0, -2.0, 3.0, 0.5};
+  const auto y = eye.multiply(la::Vector(x));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+  la::Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const auto y = a.multiply(la::Vector{1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+  const auto z = a.multiply_transposed(la::Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(z[0], 5.0);
+  EXPECT_DOUBLE_EQ(z[1], 7.0);
+  EXPECT_DOUBLE_EQ(z[2], 9.0);
+}
+
+TEST(Matrix, DimensionMismatchThrows) {
+  la::Matrix a(2, 3);
+  EXPECT_THROW((void)a.multiply(la::Vector{1.0, 2.0}), reclaim::InvalidArgument);
+  EXPECT_THROW((void)a.multiply_transposed(la::Vector{1.0, 2.0, 3.0}),
+               reclaim::InvalidArgument);
+}
+
+TEST(Matrix, MatrixMatrixMultiplyAgainstTranspose) {
+  reclaim::util::Rng rng(5);
+  const auto a = random_matrix(6, rng);
+  const auto at = a.transposed();
+  const auto prod = a.multiply(at);
+  // (A A^T) is symmetric.
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 6; ++c)
+      EXPECT_NEAR(prod(r, c), prod(c, r), 1e-12);
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  la::Vector a{1.0, 2.0, 2.0};
+  la::Vector b{2.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(la::dot(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(la::norm2(a), 3.0);
+  EXPECT_DOUBLE_EQ(la::norm_inf(b), 2.0);
+  la::axpy(2.0, b, a);
+  EXPECT_DOUBLE_EQ(a[0], 5.0);
+  EXPECT_DOUBLE_EQ(a[2], 4.0);
+  la::scale(a, 0.5);
+  EXPECT_DOUBLE_EQ(a[0], 2.5);
+}
+
+TEST(Cholesky, SolvesKnownSystem) {
+  la::Matrix a(2, 2);
+  a(0, 0) = 4.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 3.0;
+  const la::Cholesky chol(a);
+  const auto x = chol.solve({2.0, 3.0});
+  // Solution of [[4,2],[2,3]] x = [2,3]: x = [0, 1].
+  EXPECT_NEAR(x[0], 0.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Cholesky, RandomSpdResidualsSmall) {
+  reclaim::util::Rng rng(31);
+  for (std::size_t n : {3u, 8u, 25u, 60u}) {
+    const auto a = random_spd(n, rng);
+    const auto b = random_vector(n, rng);
+    const la::Cholesky chol(a);
+    const auto x = chol.solve(b);
+    const auto ax = a.multiply(x);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  la::Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 1.0;  // eigenvalues 3 and -1
+  EXPECT_THROW(la::Cholesky{a}, reclaim::NumericalError);
+}
+
+TEST(Cholesky, JitterLiftsNearSingular) {
+  la::Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 1.0;  // singular
+  EXPECT_NO_THROW(la::Cholesky(a, 1e-8));
+}
+
+TEST(Cholesky, LogDetMatchesKnown) {
+  la::Matrix a(2, 2);
+  a(0, 0) = 4.0; a(0, 1) = 0.0;
+  a(1, 0) = 0.0; a(1, 1) = 9.0;
+  const la::Cholesky chol(a);
+  EXPECT_NEAR(chol.log_det(), std::log(36.0), 1e-12);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  la::Matrix a(3, 3);
+  a(0, 0) = 0.0; a(0, 1) = 2.0; a(0, 2) = 1.0;  // needs pivoting
+  a(1, 0) = 1.0; a(1, 1) = 1.0; a(1, 2) = 1.0;
+  a(2, 0) = 2.0; a(2, 1) = 0.0; a(2, 2) = 3.0;
+  const la::Lu lu(a);
+  const auto x = lu.solve({5.0, 6.0, 13.0});
+  const auto b = a.multiply(x);
+  EXPECT_NEAR(b[0], 5.0, 1e-10);
+  EXPECT_NEAR(b[1], 6.0, 1e-10);
+  EXPECT_NEAR(b[2], 13.0, 1e-10);
+}
+
+TEST(Lu, RandomSystemsRoundTrip) {
+  reclaim::util::Rng rng(77);
+  for (std::size_t n : {2u, 5u, 20u, 50u}) {
+    const auto a = random_matrix(n, rng);
+    const auto b = random_vector(n, rng);
+    const la::Lu lu(a);
+    const auto x = lu.solve(b);
+    const auto ax = a.multiply(x);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-7);
+  }
+}
+
+TEST(Lu, SingularThrows) {
+  la::Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0;
+  EXPECT_THROW(la::Lu{a}, reclaim::NumericalError);
+}
+
+TEST(Lu, DeterminantKnownValues) {
+  la::Matrix a(2, 2);
+  a(0, 0) = 3.0; a(0, 1) = 1.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0;
+  EXPECT_NEAR(la::Lu(a).det(), 10.0, 1e-12);
+}
+
+TEST(Lu, DeterminantSignWithPivoting) {
+  la::Matrix a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 0.0;  // det = -1
+  EXPECT_NEAR(la::Lu(a).det(), -1.0, 1e-12);
+}

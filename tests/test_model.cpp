@@ -1,0 +1,151 @@
+// Unit tests for model/: power law, mode sets, energy-model variant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/energy_model.hpp"
+#include "model/power.hpp"
+#include "model/speed_set.hpp"
+#include "util/error.hpp"
+
+namespace rm = reclaim::model;
+
+TEST(PowerLaw, CubeByDefault) {
+  const rm::PowerLaw p;
+  EXPECT_DOUBLE_EQ(p.alpha(), 3.0);
+  EXPECT_DOUBLE_EQ(p.power(2.0), 8.0);
+  EXPECT_DOUBLE_EQ(p.energy(2.0, 3.0), 24.0);
+}
+
+TEST(PowerLaw, TaskEnergyMatchesDefinition) {
+  const rm::PowerLaw p(3.0);
+  // E = s^3 * (w/s) = w s^2.
+  EXPECT_DOUBLE_EQ(p.task_energy(4.0, 2.0), 16.0);
+  EXPECT_DOUBLE_EQ(p.task_energy(0.0, 0.0), 0.0);
+}
+
+TEST(PowerLaw, WindowEnergyMatchesDefinition) {
+  const rm::PowerLaw p(3.0);
+  // w = 6 in window 3 -> s = 2, E = 6 * 4 = 24 = w^3/d^2 = 216/9.
+  EXPECT_DOUBLE_EQ(p.window_energy(6.0, 3.0), 24.0);
+  EXPECT_DOUBLE_EQ(p.window_energy(0.0, 0.0), 0.0);
+}
+
+TEST(PowerLaw, GeneralizedExponent) {
+  const rm::PowerLaw p(2.0);
+  EXPECT_DOUBLE_EQ(p.task_energy(4.0, 3.0), 12.0);  // w * s^(alpha-1)
+  EXPECT_DOUBLE_EQ(p.window_energy(4.0, 2.0), 8.0); // w^2/d
+}
+
+TEST(PowerLaw, ParallelComposeIsLalphaNorm) {
+  const rm::PowerLaw p(3.0);
+  EXPECT_NEAR(p.parallel_compose(3.0, 4.0), std::cbrt(27.0 + 64.0), 1e-12);
+  EXPECT_DOUBLE_EQ(p.parallel_compose(0.0, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.parallel_compose(5.0, 0.0), 5.0);
+}
+
+TEST(PowerLaw, InvalidInputsThrow) {
+  EXPECT_THROW(rm::PowerLaw(1.0), reclaim::InvalidArgument);
+  EXPECT_THROW(rm::PowerLaw(0.5), reclaim::InvalidArgument);
+  const rm::PowerLaw p;
+  EXPECT_THROW((void)p.power(-1.0), reclaim::InvalidArgument);
+  EXPECT_THROW((void)p.task_energy(2.0, 0.0), reclaim::InvalidArgument);
+  EXPECT_THROW((void)p.window_energy(2.0, 0.0), reclaim::InvalidArgument);
+}
+
+TEST(ModeSet, SortsAndDeduplicates) {
+  const rm::ModeSet m({2.0, 1.0, 2.0, 1.5});
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m.speed(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.speed(2), 2.0);
+  EXPECT_DOUBLE_EQ(m.min_speed(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max_speed(), 2.0);
+}
+
+TEST(ModeSet, RejectsBadInput) {
+  EXPECT_THROW(rm::ModeSet({}), reclaim::InvalidArgument);
+  EXPECT_THROW(rm::ModeSet({1.0, 0.0}), reclaim::InvalidArgument);
+  EXPECT_THROW(rm::ModeSet({-2.0}), reclaim::InvalidArgument);
+}
+
+TEST(ModeSet, IncrementalGrid) {
+  const auto m = rm::ModeSet::incremental(1.0, 2.0, 0.25);
+  EXPECT_EQ(m.size(), 5u);
+  EXPECT_DOUBLE_EQ(m.speed(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.speed(4), 2.0);
+  EXPECT_NEAR(m.max_gap(), 0.25, 1e-12);
+}
+
+TEST(ModeSet, IncrementalGridTopBelowSmax) {
+  // (s_max - s_min)/delta not integral: top mode stays below s_max.
+  const auto m = rm::ModeSet::incremental(1.0, 2.0, 0.3);
+  EXPECT_EQ(m.size(), 4u);  // 1.0 1.3 1.6 1.9
+  EXPECT_NEAR(m.max_speed(), 1.9, 1e-12);
+}
+
+TEST(ModeSet, RoundingQueries) {
+  const rm::ModeSet m({1.0, 1.5, 2.5});
+  EXPECT_EQ(m.index_at_or_above(1.2), std::optional<std::size_t>{1});
+  EXPECT_EQ(m.index_at_or_above(1.5), std::optional<std::size_t>{1});
+  EXPECT_EQ(m.index_at_or_above(0.2), std::optional<std::size_t>{0});
+  EXPECT_FALSE(m.index_at_or_above(2.6).has_value());
+  EXPECT_EQ(m.index_at_or_below(1.2), std::optional<std::size_t>{0});
+  EXPECT_EQ(m.index_at_or_below(2.5), std::optional<std::size_t>{2});
+  EXPECT_FALSE(m.index_at_or_below(0.8).has_value());
+}
+
+TEST(ModeSet, RoundingAbsorbsNumericalNoise) {
+  const rm::ModeSet m({1.0, 2.0});
+  // A hair above a mode still rounds *to* it.
+  EXPECT_EQ(m.index_at_or_above(2.0 * (1.0 + 1e-12)),
+            std::optional<std::size_t>{1});
+  EXPECT_TRUE(m.contains(1.0 + 1e-12));
+  EXPECT_FALSE(m.contains(1.5));
+}
+
+TEST(ModeSet, MaxGap) {
+  const rm::ModeSet m({1.0, 1.2, 2.0, 2.1});
+  EXPECT_NEAR(m.max_gap(), 0.8, 1e-12);
+  const rm::ModeSet single({1.0});
+  EXPECT_DOUBLE_EQ(single.max_gap(), 0.0);
+}
+
+TEST(EnergyModel, VariantAccessors) {
+  const rm::EnergyModel cont = rm::ContinuousModel{2.5};
+  const rm::EnergyModel disc = rm::DiscreteModel{rm::ModeSet({1.0, 2.0})};
+  const rm::EnergyModel vdd = rm::VddHoppingModel{rm::ModeSet({1.0, 2.0})};
+  const rm::EnergyModel inc = rm::IncrementalModel(1.0, 2.0, 0.5);
+
+  EXPECT_DOUBLE_EQ(rm::max_speed(cont), 2.5);
+  EXPECT_DOUBLE_EQ(rm::max_speed(disc), 2.0);
+  EXPECT_DOUBLE_EQ(rm::min_speed(cont), 0.0);
+  EXPECT_DOUBLE_EQ(rm::min_speed(inc), 1.0);
+  EXPECT_EQ(rm::modes_of(inc).size(), 3u);
+  EXPECT_THROW((void)rm::modes_of(cont), reclaim::InvalidArgument);
+
+  EXPECT_EQ(rm::model_name(cont), "Continuous");
+  EXPECT_EQ(rm::model_name(disc), "Discrete");
+  EXPECT_EQ(rm::model_name(vdd), "Vdd-Hopping");
+  EXPECT_EQ(rm::model_name(inc), "Incremental");
+}
+
+TEST(EnergyModel, AdmissibleSpeeds) {
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  EXPECT_TRUE(rm::is_admissible_speed(cont, 1.3));
+  EXPECT_TRUE(rm::is_admissible_speed(cont, 0.0));
+  EXPECT_FALSE(rm::is_admissible_speed(cont, 2.2));
+
+  const rm::EnergyModel disc = rm::DiscreteModel{rm::ModeSet({1.0, 2.0})};
+  EXPECT_TRUE(rm::is_admissible_speed(disc, 2.0));
+  EXPECT_FALSE(rm::is_admissible_speed(disc, 1.3));
+}
+
+TEST(EnergyModel, IncrementalStoresParameters) {
+  const rm::IncrementalModel inc(0.5, 2.0, 0.25);
+  EXPECT_DOUBLE_EQ(inc.s_min, 0.5);
+  EXPECT_DOUBLE_EQ(inc.s_max, 2.0);
+  EXPECT_DOUBLE_EQ(inc.delta, 0.25);
+  EXPECT_EQ(inc.modes.size(), 7u);
+  EXPECT_THROW(rm::IncrementalModel(2.0, 1.0, 0.5), reclaim::InvalidArgument);
+  EXPECT_THROW(rm::IncrementalModel(1.0, 2.0, 0.0), reclaim::InvalidArgument);
+}

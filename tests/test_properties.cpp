@@ -1,0 +1,263 @@
+// Property-based suites (TEST_P sweeps over seeds, graph families, slack
+// and exponents): the invariants the theory forces on every instance.
+//
+//   E_Continuous <= E_VddLP <= { E_TwoMode, E_Discrete-exact }
+//   E_Discrete-exact <= E_CONT-ROUND <= certified * E_relaxation
+//   E_* <= E_NO-DVFS; all returned schedules validate; determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/baselines.hpp"
+#include "core/continuous/dispatch.hpp"
+#include "core/discrete/exact_bb.hpp"
+#include "core/discrete/round_up.hpp"
+#include "core/problem.hpp"
+#include "core/vdd/lp_solver.hpp"
+#include "core/vdd/two_mode.hpp"
+#include "graph/generators.hpp"
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace rc = reclaim::core;
+namespace rg = reclaim::graph;
+namespace rm = reclaim::model;
+namespace rs = reclaim::sched;
+using reclaim::util::Rng;
+
+namespace {
+
+enum class Family { kChain, kFork, kTree, kSp, kLayered, kStencil };
+
+std::string family_name(Family f) {
+  switch (f) {
+    case Family::kChain: return "chain";
+    case Family::kFork: return "fork";
+    case Family::kTree: return "tree";
+    case Family::kSp: return "sp";
+    case Family::kLayered: return "layered";
+    case Family::kStencil: return "stencil";
+  }
+  return "?";
+}
+
+rg::Digraph make_family(Family f, Rng& rng) {
+  switch (f) {
+    case Family::kChain: return rg::make_chain(6, rng);
+    case Family::kFork: return rg::make_fork(5, rng);
+    case Family::kTree: return rg::make_random_out_tree(8, rng);
+    case Family::kSp: return rg::make_random_series_parallel(7, rng);
+    case Family::kLayered: return rg::make_layered(3, 3, 0.5, rng);
+    case Family::kStencil: return rg::make_stencil(3, 3, rng);
+  }
+  return rg::Digraph{};
+}
+
+struct Param {
+  Family family;
+  std::uint64_t seed;
+  double slack;
+};
+
+std::string param_name(const testing::TestParamInfo<Param>& info) {
+  const auto& p = info.param;
+  std::string slack = std::to_string(static_cast<int>(p.slack * 100.0));
+  return family_name(p.family) + "_s" + std::to_string(p.seed) + "_k" + slack;
+}
+
+class ModelOrdering : public testing::TestWithParam<Param> {};
+
+}  // namespace
+
+TEST_P(ModelOrdering, TheChainOfDominanceHolds) {
+  const auto& p = GetParam();
+  Rng rng(p.seed);
+  const auto g = make_family(p.family, rng);
+  const rm::ModeSet modes({0.6, 1.1, 1.6, 2.0});
+  const double d = rc::min_deadline(g, modes.max_speed()) * p.slack;
+  auto instance = rc::make_instance(g, d);
+
+  const auto cont =
+      rc::solve_continuous(instance, rm::ContinuousModel{modes.max_speed()});
+  const auto vdd_lp = rc::solve_vdd_lp(instance, rm::VddHoppingModel{modes});
+  const auto two_mode =
+      rc::solve_vdd_two_mode(instance, rm::VddHoppingModel{modes});
+  const auto bb = rc::solve_discrete_exact(instance, modes);
+  const auto round = rc::solve_round_up(instance, modes);
+  const auto nodvfs = rc::solve_no_dvfs(instance, rm::DiscreteModel{modes});
+
+  // Everything is feasible: the deadline has slack >= 1.05 over D_min at
+  // the fastest mode, and s_max is one of the modes.
+  ASSERT_TRUE(cont.feasible);
+  ASSERT_TRUE(vdd_lp.solution.feasible);
+  ASSERT_TRUE(two_mode.feasible);
+  ASSERT_TRUE(bb.solution.feasible);
+  ASSERT_TRUE(bb.proven_optimal);
+  ASSERT_TRUE(round.solution.feasible);
+  ASSERT_TRUE(nodvfs.feasible);
+
+  const double tol = 1.0 + 1e-6;
+  EXPECT_LE(cont.energy, vdd_lp.solution.energy * tol);
+  EXPECT_LE(vdd_lp.solution.energy, two_mode.energy * tol);
+  EXPECT_LE(vdd_lp.solution.energy, bb.solution.energy * tol);
+  EXPECT_LE(bb.solution.energy, round.solution.energy * tol);
+  EXPECT_LE(round.solution.energy, nodvfs.energy * tol);
+  EXPECT_LE(bb.solution.energy, nodvfs.energy * tol);
+
+  // Every schedule validates under its own model.
+  rs::validate_constant_speeds(g, cont.speeds,
+                               rm::ContinuousModel{modes.max_speed()}, d, 1e-6);
+  rs::validate_profiles(g, vdd_lp.solution.profiles,
+                        rm::VddHoppingModel{modes}, d, 1e-6);
+  rs::validate_profiles(g, two_mode.profiles, rm::VddHoppingModel{modes}, d,
+                        1e-6);
+  rs::validate_constant_speeds(g, bb.solution.speeds, rm::DiscreteModel{modes},
+                               d, 1e-6);
+  rs::validate_constant_speeds(g, round.solution.speeds,
+                               rm::DiscreteModel{modes}, d, 1e-6);
+
+  // The CONT-ROUND certificate (Thm 5 / Prop 1) holds.
+  const auto cert = rc::certify_round_up(round.solution, round.relaxation,
+                                         modes, instance.power, 1e-9);
+  EXPECT_TRUE(cert.holds) << "measured " << cert.measured << " certified "
+                          << cert.certified;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelOrdering,
+    testing::Values(
+        Param{Family::kChain, 1, 1.15}, Param{Family::kChain, 2, 1.8},
+        Param{Family::kFork, 3, 1.15}, Param{Family::kFork, 4, 2.5},
+        Param{Family::kTree, 5, 1.2}, Param{Family::kTree, 6, 1.9},
+        Param{Family::kSp, 7, 1.25}, Param{Family::kSp, 8, 2.2},
+        Param{Family::kLayered, 9, 1.15}, Param{Family::kLayered, 10, 1.7},
+        Param{Family::kStencil, 11, 1.3}, Param{Family::kStencil, 12, 2.8}),
+    param_name);
+
+namespace {
+
+class ExponentSweep : public testing::TestWithParam<double> {};
+
+}  // namespace
+
+TEST_P(ExponentSweep, OrderingAndCertificatesForGeneralAlpha) {
+  const double alpha = GetParam();
+  Rng rng(1234);
+  const auto g = rg::make_layered(3, 3, 0.5, rng);
+  const rm::IncrementalModel inc(0.5, 2.0, 0.25);
+  const double d = rc::min_deadline(g, 2.0) * 1.4;
+  auto instance = rc::make_instance(g, d, alpha);
+
+  const auto cont = rc::solve_continuous(instance, rm::ContinuousModel{2.0});
+  const auto vdd =
+      rc::solve_vdd_lp(instance, rm::VddHoppingModel{inc.modes});
+  const auto round = rc::solve_round_up(instance, inc.modes);
+  ASSERT_TRUE(cont.feasible && vdd.solution.feasible &&
+              round.solution.feasible);
+
+  EXPECT_LE(cont.energy, vdd.solution.energy * (1.0 + 1e-6));
+  EXPECT_LE(vdd.solution.energy, round.solution.energy * (1.0 + 1e-6));
+  const auto cert = rc::certify_round_up(round.solution, round.relaxation,
+                                         inc.modes, instance.power, 1e-9);
+  EXPECT_TRUE(cert.holds) << "alpha " << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ExponentSweep,
+                         testing::Values(1.5, 2.0, 2.5, 3.0),
+                         [](const testing::TestParamInfo<double>& info) {
+                           return "alpha" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 10.0));
+                         });
+
+TEST(Determinism, WholeStackIsSeedDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    Rng rng(seed);
+    const auto g = rg::make_layered(3, 3, 0.5, rng);
+    const rm::ModeSet modes({0.7, 1.3, 2.0});
+    const double d = rc::min_deadline(g, 2.0) * 1.4;
+    auto instance = rc::make_instance(g, d);
+    const auto cont = rc::solve_continuous(instance, rm::ContinuousModel{2.0});
+    const auto vdd = rc::solve_vdd_lp(instance, rm::VddHoppingModel{modes});
+    const auto round = rc::solve_round_up(instance, modes);
+    return std::tuple{cont.energy, vdd.solution.energy, round.solution.energy};
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(std::get<0>(run(99)), std::get<0>(run(100)));
+}
+
+TEST(Monotonicity, VddEnergyNonIncreasingInDeadline) {
+  Rng rng(71);
+  const auto g = rg::make_layered(3, 3, 0.5, rng);
+  const rm::ModeSet modes({0.6, 1.2, 2.0});
+  const double d_min = rc::min_deadline(g, 2.0);
+  double previous = std::numeric_limits<double>::infinity();
+  for (double slack : {1.05, 1.2, 1.5, 2.0, 4.0, 10.0}) {
+    auto instance = rc::make_instance(g, slack * d_min);
+    const auto vdd = rc::solve_vdd_lp(instance, rm::VddHoppingModel{modes});
+    ASSERT_TRUE(vdd.solution.feasible) << slack;
+    EXPECT_LE(vdd.solution.energy, previous * (1.0 + 1e-7)) << slack;
+    previous = vdd.solution.energy;
+  }
+  // Far past the point where everything runs at s_1, energy floors at
+  // sum w * s_1^2.
+  double floor_energy = 0.0;
+  for (rg::NodeId v = 0; v < g.num_nodes(); ++v)
+    floor_energy += g.weight(v) * 0.6 * 0.6;
+  EXPECT_NEAR(previous, floor_energy, 1e-5 * floor_energy);
+}
+
+TEST(Monotonicity, ContinuousEnergyScalesAsInverseSquareOfDeadline) {
+  // E(c D) = E(D)/c^2 for alpha = 3 (pure scaling of all speeds).
+  Rng rng(72);
+  const auto g = rg::make_stencil(3, 3, rng);
+  const double d = rc::min_deadline(g, 100.0) * 50.0;  // cap never binds
+  auto a = rc::make_instance(g, d);
+  auto b = rc::make_instance(g, 2.0 * d);
+  const auto ea = rc::solve_continuous(a, rm::ContinuousModel{100.0});
+  const auto eb = rc::solve_continuous(b, rm::ContinuousModel{100.0});
+  ASSERT_TRUE(ea.feasible && eb.feasible);
+  EXPECT_NEAR(eb.energy, ea.energy / 4.0, 2e-4 * ea.energy);
+}
+
+TEST(WorkConservation, ProfilesProcessExactlyTheWeights) {
+  Rng rng(73);
+  const auto g = rg::make_layered(3, 3, 0.6, rng);
+  const rm::ModeSet modes({0.5, 1.0, 2.0});
+  auto instance = rc::make_instance(g, rc::min_deadline(g, 2.0) * 1.5);
+  const auto vdd = rc::solve_vdd_lp(instance, rm::VddHoppingModel{modes});
+  ASSERT_TRUE(vdd.solution.feasible);
+  for (rg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(vdd.solution.profiles[v].work(), g.weight(v),
+                1e-6 * (1.0 + g.weight(v)));
+  }
+}
+
+TEST(Infeasibility, AllSolversAgreeBelowDmin) {
+  Rng rng(74);
+  const auto g = rg::make_layered(3, 3, 0.5, rng);
+  const rm::ModeSet modes({0.6, 1.2, 2.0});
+  auto instance = rc::make_instance(g, rc::min_deadline(g, 2.0) * 0.8);
+  EXPECT_FALSE(
+      rc::solve_continuous(instance, rm::ContinuousModel{2.0}).feasible);
+  EXPECT_FALSE(
+      rc::solve_vdd_lp(instance, rm::VddHoppingModel{modes}).solution.feasible);
+  EXPECT_FALSE(rc::solve_discrete_exact(instance, modes).solution.feasible);
+  EXPECT_FALSE(rc::solve_round_up(instance, modes).solution.feasible);
+  EXPECT_FALSE(rc::solve_no_dvfs(instance, rm::DiscreteModel{modes}).feasible);
+}
+
+TEST(TightDeadline, DiscreteMatchesNoDvfsAtDmin) {
+  // At D == D_min (fastest-mode critical path), every task on the critical
+  // path must run flat out; with a single-path chain the discrete optimum
+  // IS the NO-DVFS schedule.
+  const auto g = rg::make_chain({2.0, 3.0});
+  const rm::ModeSet modes({1.0, 2.0});
+  auto instance = rc::make_instance(g, 2.5);  // = (2+3)/2
+  const auto bb = rc::solve_discrete_exact(instance, modes);
+  const auto nodvfs = rc::solve_no_dvfs(instance, rm::DiscreteModel{modes});
+  ASSERT_TRUE(bb.solution.feasible && nodvfs.feasible);
+  EXPECT_NEAR(bb.solution.energy, nodvfs.energy, 1e-9);
+}

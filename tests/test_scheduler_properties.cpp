@@ -1,0 +1,182 @@
+// Property suites for the scheduling substrate: Graham-style bounds for
+// the list scheduler, exact consistency between list-schedule timing and
+// execution-graph earliest-start timing, and reachability invariants of
+// the transitive closure/reduction pair.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "graph/topo.hpp"
+#include "sched/execution_graph.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace rg = reclaim::graph;
+namespace rs = reclaim::sched;
+using reclaim::util::Rng;
+
+namespace {
+
+struct SchedParam {
+  std::uint64_t seed;
+  std::size_t processors;
+};
+
+class ListScheduleProperties : public testing::TestWithParam<SchedParam> {};
+
+rg::Digraph random_workload(std::uint64_t seed) {
+  Rng rng(seed);
+  switch (seed % 4) {
+    case 0: return rg::make_layered(4, 4, 0.4, rng);
+    case 1: return rg::make_erdos_renyi_dag(18, 0.2, rng);
+    case 2: return rg::make_tiled_cholesky(4);
+    default: return rg::make_stencil(4, 5, rng);
+  }
+}
+
+}  // namespace
+
+TEST_P(ListScheduleProperties, GrahamBoundHolds) {
+  const auto& p = GetParam();
+  const auto g = random_workload(p.seed);
+  const auto result = rs::list_schedule(g, p.processors);
+  // Any greedy list schedule on identical processors without idling
+  // satisfies M <= W/p + (1 - 1/p) * CP (Graham). Zero-communication
+  // earliest-start list scheduling never idles while work is ready.
+  const double work = g.total_weight();
+  const double cp = rg::critical_path(g).length;
+  const auto procs = static_cast<double>(p.processors);
+  EXPECT_LE(result.makespan,
+            work / procs + (1.0 - 1.0 / procs) * cp + 1e-9);
+  // And the two lower bounds.
+  EXPECT_GE(result.makespan, cp - 1e-9);
+  EXPECT_GE(result.makespan, work / procs - 1e-9);
+}
+
+TEST_P(ListScheduleProperties, ExecutionGraphTimingReproducesTheSchedule) {
+  // The chaining edges encode exactly the information the list scheduler
+  // used: earliest-start timing of the execution graph at the reference
+  // speed must reproduce the scheduler's makespan.
+  const auto& p = GetParam();
+  const auto g = random_workload(p.seed);
+  const auto result = rs::list_schedule(g, p.processors);
+  const auto exec = rs::build_execution_graph(g, result.mapping);
+
+  std::vector<double> durations(g.num_nodes());
+  for (rg::NodeId v = 0; v < g.num_nodes(); ++v) durations[v] = g.weight(v);
+  const auto timing = rs::compute_timing(exec, durations);
+  EXPECT_NEAR(timing.makespan, result.makespan, 1e-9);
+  // Earliest-start can only start tasks at or before the greedy schedule.
+  for (rg::NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_LE(timing.start[v], result.start[v] + 1e-9);
+}
+
+TEST_P(ListScheduleProperties, MappingIsCompleteAndOrdered) {
+  const auto& p = GetParam();
+  const auto g = random_workload(p.seed);
+  const auto result = rs::list_schedule(g, p.processors);
+  EXPECT_NO_THROW(result.mapping.validate_complete(g));
+  // Per-processor lists are ordered by start time.
+  for (std::size_t proc = 0; proc < p.processors; ++proc) {
+    const auto& list = result.mapping.tasks_on(proc);
+    for (std::size_t i = 1; i < list.size(); ++i)
+      EXPECT_LE(result.start[list[i - 1]], result.start[list[i]] + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ListScheduleProperties,
+    testing::Values(SchedParam{0, 1}, SchedParam{0, 3}, SchedParam{1, 2},
+                    SchedParam{1, 4}, SchedParam{2, 2}, SchedParam{2, 8},
+                    SchedParam{3, 3}, SchedParam{3, 16}),
+    [](const testing::TestParamInfo<SchedParam>& info) {
+      return "w" + std::to_string(info.param.seed) + "_p" +
+             std::to_string(info.param.processors);
+    });
+
+TEST(ClosureReduction, ReductionPreservesReachability) {
+  Rng rng(90);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto sub = rng.substream(trial);
+    const auto g = rg::make_erdos_renyi_dag(16, 0.3, sub);
+    const auto reduced = rg::transitive_reduction(g);
+    const auto closure_before = rg::transitive_closure(g);
+    const auto closure_after = rg::transitive_closure(reduced);
+    for (rg::NodeId u = 0; u < g.num_nodes(); ++u)
+      for (rg::NodeId v = 0; v < g.num_nodes(); ++v)
+        EXPECT_EQ(closure_before[u][v], closure_after[u][v])
+            << "trial " << trial << " pair " << u << "->" << v;
+    EXPECT_LE(reduced.num_edges(), g.num_edges());
+  }
+}
+
+TEST(ClosureReduction, ReductionIsMinimal) {
+  // Removing any edge of the reduction changes reachability.
+  Rng rng(91);
+  const auto g = rg::make_erdos_renyi_dag(10, 0.35, rng);
+  const auto reduced = rg::transitive_reduction(g);
+  const auto closure = rg::transitive_closure(reduced);
+  for (const auto& edge : reduced.edges()) {
+    rg::Digraph without(0);
+    for (rg::NodeId v = 0; v < reduced.num_nodes(); ++v)
+      (void)without.add_node(reduced.weight(v));
+    for (const auto& e : reduced.edges()) {
+      if (e.from == edge.from && e.to == edge.to) continue;
+      without.add_edge(e.from, e.to);
+    }
+    const auto closure_without = rg::transitive_closure(without);
+    EXPECT_TRUE(closure[edge.from][edge.to]);
+    EXPECT_FALSE(closure_without[edge.from][edge.to])
+        << "edge " << edge.from << "->" << edge.to << " was redundant";
+  }
+}
+
+TEST(ClosureReduction, ClosureIsTransitive) {
+  Rng rng(92);
+  const auto g = rg::make_erdos_renyi_dag(14, 0.25, rng);
+  const auto closure = rg::transitive_closure(g);
+  const std::size_t n = g.num_nodes();
+  for (rg::NodeId a = 0; a < n; ++a)
+    for (rg::NodeId b = 0; b < n; ++b)
+      for (rg::NodeId c = 0; c < n; ++c)
+        if (closure[a][b] && closure[b][c]) EXPECT_TRUE(closure[a][c]);
+}
+
+TEST(ExecutionGraphProperties, MoreProcessorsNeverLengthenCriticalPath) {
+  // With more processors the list mapping chains fewer tasks, so the
+  // execution graph's critical weight is non-increasing in p.
+  Rng rng(93);
+  const auto g = rg::make_layered(4, 4, 0.4, rng);
+  double previous = std::numeric_limits<double>::infinity();
+  for (std::size_t p : {1u, 2u, 4u, 8u, 16u}) {
+    const auto result = rs::list_schedule(g, p);
+    const auto exec = rs::build_execution_graph(g, result.mapping);
+    const double cw = rg::critical_path(exec).length;
+    EXPECT_LE(cw, previous + 1e-9) << "p=" << p;
+    previous = cw;
+  }
+  // And with p >= width the execution graph's critical path reaches the
+  // task graph's own critical path.
+  const auto wide = rs::list_schedule(g, 16);
+  const auto exec = rs::build_execution_graph(g, wide.mapping);
+  EXPECT_NEAR(rg::critical_path(exec).length, rg::critical_path(g).length, 1e-9);
+}
+
+TEST(ExecutionGraphProperties, ChainingEdgesCountMatchesMapping) {
+  Rng rng(94);
+  const auto g = rg::make_layered(3, 4, 0.3, rng);
+  const auto result = rs::list_schedule(g, 3);
+  const auto exec = rs::build_execution_graph(g, result.mapping);
+  // Each processor with k tasks contributes k-1 chaining pairs; edges
+  // already present as precedences are not duplicated.
+  std::size_t chain_pairs = 0;
+  for (std::size_t p = 0; p < 3; ++p) {
+    const auto& list = result.mapping.tasks_on(p);
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      if (!g.has_edge(list[i - 1], list[i])) ++chain_pairs;
+    }
+  }
+  EXPECT_EQ(exec.num_edges(), g.num_edges() + chain_pairs);
+}

@@ -1,0 +1,177 @@
+// Unit tests for the series-parallel recognizer/decomposer.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "graph/digraph.hpp"
+#include "graph/generators.hpp"
+#include "graph/sp_tree.hpp"
+#include "util/error.hpp"
+
+namespace rg = reclaim::graph;
+using reclaim::util::Rng;
+
+namespace {
+
+/// Collects the task ids on the leaves of the subtree under `node`.
+std::multiset<rg::NodeId> leaf_tasks(const rg::SpTree& tree, std::size_t node) {
+  std::multiset<rg::NodeId> out;
+  std::function<void(std::size_t)> walk = [&](std::size_t id) {
+    const auto& n = tree.nodes[id];
+    if (n.kind == rg::SpKind::kLeaf) {
+      if (n.task != rg::kNoNode) out.insert(n.task);
+      return;
+    }
+    for (std::size_t c : n.children) walk(c);
+  };
+  walk(node);
+  return out;
+}
+
+/// Every task appears exactly once as a leaf.
+void expect_exact_cover(const rg::Digraph& g, const rg::SpTree& tree) {
+  const auto tasks = leaf_tasks(tree, tree.root);
+  EXPECT_EQ(tasks.size(), g.num_nodes());
+  for (rg::NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(tasks.count(v), 1u);
+}
+
+}  // namespace
+
+TEST(SpTree, SingleTask) {
+  rg::Digraph g;
+  g.add_node(3.0);
+  const auto tree = rg::sp_decompose(g);
+  ASSERT_TRUE(tree.has_value());
+  expect_exact_cover(g, *tree);
+  EXPECT_EQ(tree->nodes[tree->root].kind, rg::SpKind::kLeaf);
+  EXPECT_EQ(tree->nodes[tree->root].task, 0u);
+}
+
+TEST(SpTree, ChainDecomposesToSeries) {
+  const auto g = rg::make_chain({1.0, 2.0, 3.0});
+  const auto tree = rg::sp_decompose(g);
+  ASSERT_TRUE(tree.has_value());
+  expect_exact_cover(g, *tree);
+  const auto& root = tree->nodes[tree->root];
+  EXPECT_EQ(root.kind, rg::SpKind::kSeries);
+  EXPECT_EQ(root.children.size(), 3u);
+  // Series order is execution order.
+  EXPECT_EQ(tree->nodes[root.children[0]].task, 0u);
+  EXPECT_EQ(tree->nodes[root.children[2]].task, 2u);
+}
+
+TEST(SpTree, ForkDecomposesToSeriesOfRootAndParallel) {
+  const auto g = rg::make_fork({1.0, 2.0, 3.0, 4.0});
+  const auto tree = rg::sp_decompose(g);
+  ASSERT_TRUE(tree.has_value());
+  expect_exact_cover(g, *tree);
+  const auto& root = tree->nodes[tree->root];
+  ASSERT_EQ(root.kind, rg::SpKind::kSeries);
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(tree->nodes[root.children[0]].task, 0u);
+  const auto& par = tree->nodes[root.children[1]];
+  EXPECT_EQ(par.kind, rg::SpKind::kParallel);
+  EXPECT_EQ(par.children.size(), 3u);
+}
+
+TEST(SpTree, IndependentTasksAreParallel) {
+  rg::Digraph g(3, 1.0);  // no edges at all
+  const auto tree = rg::sp_decompose(g);
+  ASSERT_TRUE(tree.has_value());
+  expect_exact_cover(g, *tree);
+  EXPECT_EQ(tree->nodes[tree->root].kind, rg::SpKind::kParallel);
+}
+
+TEST(SpTree, DiamondWithShortcutReducesToChain) {
+  // a -> b -> c plus shortcut a -> c: energetically a pure series.
+  rg::Digraph g(3, 1.0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const auto tree = rg::sp_decompose(g);
+  ASSERT_TRUE(tree.has_value());
+  expect_exact_cover(g, *tree);
+  EXPECT_EQ(tree->nodes[tree->root].kind, rg::SpKind::kSeries);
+}
+
+TEST(SpTree, DiamondIsSeriesParallel) {
+  Rng rng(1);
+  const auto g = rg::make_diamond(4, rng);
+  const auto tree = rg::sp_decompose(g);
+  ASSERT_TRUE(tree.has_value());
+  expect_exact_cover(g, *tree);
+}
+
+TEST(SpTree, NGraphIsNotSp) {
+  // The forbidden N: a -> c, a -> d, b -> d.
+  rg::Digraph g(4, 1.0);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(1, 3);
+  EXPECT_FALSE(rg::sp_decompose(g).has_value());
+  EXPECT_FALSE(rg::is_series_parallel(g));
+}
+
+TEST(SpTree, CrossedForkJoinIsNotSp) {
+  // Complete bipartite {a1,a2} x {b1,b2} without a junction: not
+  // two-terminal SP (the reduction gets stuck).
+  rg::Digraph g(4, 1.0);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  EXPECT_FALSE(rg::is_series_parallel(g));
+}
+
+TEST(SpTree, StencilIsNotSp) {
+  Rng rng(2);
+  EXPECT_FALSE(rg::is_series_parallel(rg::make_stencil(3, 3, rng)));
+}
+
+TEST(SpTree, TreesAreSp) {
+  Rng rng(3);
+  EXPECT_TRUE(rg::is_series_parallel(rg::make_random_out_tree(40, rng)));
+  EXPECT_TRUE(rg::is_series_parallel(rg::make_random_in_tree(40, rng)));
+}
+
+TEST(SpTree, GeneratedSpGraphsRoundTrip) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    const auto g = rg::make_random_series_parallel(n, rng);
+    const auto tree = rg::sp_decompose(g);
+    ASSERT_TRUE(tree.has_value()) << "trial " << trial;
+    expect_exact_cover(g, *tree);
+  }
+}
+
+TEST(SpTree, TaskLeavesCountsRealTasksOnly) {
+  const auto g = rg::make_fork({1.0, 2.0, 3.0});
+  const auto tree = rg::sp_decompose(g);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->task_leaves(tree->root), 3u);
+}
+
+TEST(SpTree, EmptyGraphThrows) {
+  EXPECT_THROW((void)rg::sp_decompose(rg::Digraph{}), reclaim::InvalidArgument);
+}
+
+TEST(SpTree, CyclicGraphThrows) {
+  rg::Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW((void)rg::sp_decompose(g), reclaim::InvalidArgument);
+}
+
+TEST(SpTree, ForkJoinChainsDecompose) {
+  Rng rng(5);
+  for (std::size_t stages : {1u, 2u, 4u}) {
+    for (std::size_t width : {1u, 3u}) {
+      const auto g = rg::make_fork_join_chain(stages, width, rng);
+      const auto tree = rg::sp_decompose(g);
+      ASSERT_TRUE(tree.has_value());
+      expect_exact_cover(g, *tree);
+    }
+  }
+}

@@ -1,0 +1,201 @@
+// Tests for the Vdd-Hopping solvers: the Theorem 3 LP and the two-mode
+// heuristic, cross-checked against the Continuous bound and each other.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/continuous/dispatch.hpp"
+#include "core/problem.hpp"
+#include "core/vdd/lp_solver.hpp"
+#include "core/vdd/two_mode.hpp"
+#include "graph/generators.hpp"
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace rc = reclaim::core;
+namespace rg = reclaim::graph;
+namespace rm = reclaim::model;
+namespace rs = reclaim::sched;
+using reclaim::util::Rng;
+
+namespace {
+
+rm::VddHoppingModel vdd(std::initializer_list<double> speeds) {
+  return rm::VddHoppingModel{rm::ModeSet(std::vector<double>(speeds))};
+}
+
+void expect_valid(const rc::Instance& instance, const rm::VddHoppingModel& model,
+                  const rc::Solution& s) {
+  ASSERT_TRUE(s.feasible);
+  ASSERT_TRUE(s.uses_profiles());
+  rs::validate_profiles(instance.exec_graph, s.profiles, rm::EnergyModel{model},
+                        instance.deadline, 1e-6);
+  EXPECT_NEAR(s.energy, rs::total_energy(s.profiles, instance.power),
+              1e-6 * (1.0 + s.energy));
+}
+
+}  // namespace
+
+TEST(VddLp, SingleTaskMixesAdjacentModes) {
+  // w = 3, D = 2: required average speed 1.5 between modes 1 and 2.
+  auto instance = rc::make_instance(rg::make_chain({3.0}), 2.0);
+  const auto model = vdd({1.0, 2.0});
+  const auto result = rc::solve_vdd_lp(instance, model);
+  expect_valid(instance, model, result.solution);
+  // Optimal mix: a + b = 2, a + 2b = 3 -> a = b = 1; E = 1 + 8 = 9.
+  EXPECT_NEAR(result.solution.energy, 9.0, 1e-6);
+  ASSERT_EQ(result.solution.profiles[0].segments.size(), 2u);
+}
+
+TEST(VddLp, ExactModeNeedsNoMixing) {
+  auto instance = rc::make_instance(rg::make_chain({4.0}), 2.0);
+  const auto model = vdd({1.0, 2.0, 3.0});
+  const auto result = rc::solve_vdd_lp(instance, model);
+  expect_valid(instance, model, result.solution);
+  EXPECT_NEAR(result.solution.energy, 4.0 * 4.0, 1e-6);  // all at speed 2
+}
+
+TEST(VddLp, SlackBeyondSlowestModeStopsHelping) {
+  // With D large the whole task runs at s_1; energy floors at w s_1^2.
+  auto instance = rc::make_instance(rg::make_chain({2.0}), 50.0);
+  const auto model = vdd({1.0, 2.0});
+  const auto result = rc::solve_vdd_lp(instance, model);
+  expect_valid(instance, model, result.solution);
+  EXPECT_NEAR(result.solution.energy, 2.0, 1e-6);
+}
+
+TEST(VddLp, InfeasibleDeadlineDetected) {
+  auto instance = rc::make_instance(rg::make_chain({4.0, 4.0}), 1.0);
+  const auto model = vdd({1.0, 2.0});
+  const auto result = rc::solve_vdd_lp(instance, model);
+  EXPECT_FALSE(result.solution.feasible);
+}
+
+TEST(VddLp, DominatesContinuousLowerBound) {
+  Rng rng(31);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto g = rg::make_layered(3, 3, 0.5, rng);
+    const auto model = vdd({0.8, 1.3, 2.0});
+    const double d = rc::min_deadline(g, 2.0) * rng.uniform(1.2, 2.5);
+    auto instance = rc::make_instance(g, d);
+    const auto lp = rc::solve_vdd_lp(instance, model);
+    const auto cont =
+        rc::solve_continuous(instance, rm::ContinuousModel{2.0});
+    ASSERT_TRUE(lp.solution.feasible && cont.feasible) << trial;
+    // Vdd-Hopping is a restriction of Continuous (piecewise-constant
+    // speeds over a finite mode set): E_cont <= E_vdd.
+    EXPECT_GE(lp.solution.energy, cont.energy * (1.0 - 1e-7)) << trial;
+    expect_valid(instance, model, lp.solution);
+  }
+}
+
+TEST(VddLp, ConvergesToContinuousWithManyModes) {
+  Rng rng(32);
+  const auto g = rg::make_layered(3, 3, 0.6, rng);
+  const double d = rc::min_deadline(g, 2.0) * 1.5;
+  auto instance = rc::make_instance(g, d);
+  const auto cont = rc::solve_continuous(instance, rm::ContinuousModel{2.0});
+  ASSERT_TRUE(cont.feasible);
+
+  double previous_gap = std::numeric_limits<double>::infinity();
+  for (std::size_t m : {2u, 4u, 16u}) {
+    std::vector<double> speeds;
+    for (std::size_t i = 0; i < m; ++i)
+      speeds.push_back(0.2 + (2.0 - 0.2) * static_cast<double>(i) /
+                                 static_cast<double>(m - 1));
+    const rm::VddHoppingModel model{rm::ModeSet(speeds)};
+    const auto lp = rc::solve_vdd_lp(instance, model);
+    ASSERT_TRUE(lp.solution.feasible);
+    const double gap = lp.solution.energy / cont.energy - 1.0;
+    EXPECT_GE(gap, -1e-7);
+    EXPECT_LE(gap, previous_gap + 1e-9);
+    previous_gap = gap;
+  }
+  EXPECT_LT(previous_gap, 0.05);  // 16 modes: within 5% of Continuous
+}
+
+TEST(VddLp, BasicSolutionsMixFewModes) {
+  Rng rng(33);
+  const auto g = rg::make_layered(3, 2, 0.6, rng);
+  const auto model = vdd({0.5, 1.0, 1.5, 2.0});
+  const double d = rc::min_deadline(g, 2.0) * 1.4;
+  auto instance = rc::make_instance(g, d);
+  const auto result = rc::solve_vdd_lp(instance, model);
+  ASSERT_TRUE(result.solution.feasible);
+  // Vertex solutions of the LP use at most two modes per task (and the
+  // profile construction drops zero slivers).
+  for (const auto& profile : result.solution.profiles)
+    EXPECT_LE(profile.segments.size(), 2u);
+}
+
+TEST(VddLp, ZeroWeightTasks) {
+  rg::Digraph g;
+  g.add_node(2.0);
+  g.add_node(0.0);
+  g.add_edge(0, 1);
+  auto instance = rc::make_instance(g, 2.0);
+  const auto model = vdd({1.0, 2.0});
+  const auto result = rc::solve_vdd_lp(instance, model);
+  ASSERT_TRUE(result.solution.feasible);
+  EXPECT_TRUE(result.solution.profiles[1].segments.empty());
+}
+
+TEST(VddLp, ReportsLpShape) {
+  auto instance = rc::make_instance(rg::make_chain({1.0, 1.0}), 4.0);
+  const auto model = vdd({1.0, 2.0});
+  const auto result = rc::solve_vdd_lp(instance, model);
+  EXPECT_EQ(result.lp_variables, 2u * 2u + 2u);
+  EXPECT_EQ(result.lp_constraints, 3u * 2u + 1u);
+  EXPECT_GT(result.solution.iterations, 0u);
+}
+
+TEST(TwoMode, FeasibleAndAboveLp) {
+  Rng rng(34);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto g = rg::make_layered(3, 3, 0.5, rng);
+    const auto model = vdd({0.8, 1.3, 2.0});
+    const double d = rc::min_deadline(g, 2.0) * rng.uniform(1.2, 2.5);
+    auto instance = rc::make_instance(g, d);
+    const auto heuristic = rc::solve_vdd_two_mode(instance, model);
+    const auto lp = rc::solve_vdd_lp(instance, model);
+    ASSERT_TRUE(heuristic.feasible && lp.solution.feasible) << trial;
+    expect_valid(instance, model, heuristic);
+    EXPECT_GE(heuristic.energy, lp.solution.energy * (1.0 - 1e-6)) << trial;
+  }
+}
+
+TEST(TwoMode, ChainIsLpOptimal) {
+  // On a chain the continuous durations are optimal for the LP too, so the
+  // two-mode realization matches the LP exactly.
+  auto instance = rc::make_instance(rg::make_chain({2.0, 3.0, 1.0}), 4.0);
+  const auto model = vdd({1.0, 2.0});
+  const auto heuristic = rc::solve_vdd_two_mode(instance, model);
+  const auto lp = rc::solve_vdd_lp(instance, model);
+  ASSERT_TRUE(heuristic.feasible && lp.solution.feasible);
+  EXPECT_NEAR(heuristic.energy, lp.solution.energy,
+              1e-6 * (1.0 + lp.solution.energy));
+}
+
+TEST(TwoMode, InfeasibleDetected) {
+  auto instance = rc::make_instance(rg::make_chain({4.0, 4.0}), 1.0);
+  EXPECT_FALSE(rc::solve_vdd_two_mode(instance, vdd({1.0, 2.0})).feasible);
+}
+
+TEST(TwoMode, BelowSlowestModeUsesSlowest) {
+  auto instance = rc::make_instance(rg::make_chain({1.0}), 10.0);
+  const auto model = vdd({1.0, 2.0});
+  const auto s = rc::solve_vdd_two_mode(instance, model);
+  ASSERT_TRUE(s.feasible);
+  ASSERT_EQ(s.profiles[0].segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.profiles[0].segments[0].speed, 1.0);
+}
+
+TEST(VddLp, SingleModeDegenerate) {
+  auto instance = rc::make_instance(rg::make_chain({2.0, 2.0}), 4.1);
+  const auto model = vdd({1.0});
+  const auto result = rc::solve_vdd_lp(instance, model);
+  ASSERT_TRUE(result.solution.feasible);
+  EXPECT_NEAR(result.solution.energy, 4.0, 1e-6);
+  auto tight = rc::make_instance(rg::make_chain({2.0, 2.0}), 3.9);
+  EXPECT_FALSE(rc::solve_vdd_lp(tight, model).solution.feasible);
+}
