@@ -28,16 +28,16 @@ int main() {
                        "certified round bound"});
     for (double alpha : {1.5, 2.0, 2.5, 3.0}) {
       auto instance = bench::mapped_instance(app, 3, s_max, 1.4, alpha);
-      const auto cont =
-          core::solve_continuous(instance, model::ContinuousModel{s_max});
-      const auto vdd = core::solve_vdd_lp(instance, model::VddHoppingModel{modes});
-      const auto round = core::solve_round_up(instance, modes);
-      if (!cont.feasible || !vdd.solution.feasible || !round.solution.feasible)
-        continue;
+      // Same topology across the alpha sweep: one classification, four hits.
+      auto& eng = bench::shared_engine();
+      const auto cont = eng.solve_one(instance, model::ContinuousModel{s_max});
+      const auto vdd = eng.solve_one(instance, model::VddHoppingModel{modes});
+      const auto round = eng.solve_one(instance, model::DiscreteModel{modes});
+      if (!cont.feasible || !vdd.feasible || !round.feasible) continue;
       table.add_row(
           {util::Table::fmt(alpha, 1), util::Table::fmt(cont.energy, 3),
-           util::Table::fmt_ratio(vdd.solution.energy / cont.energy, 4),
-           util::Table::fmt_ratio(round.solution.energy / cont.energy, 4),
+           util::Table::fmt_ratio(vdd.energy / cont.energy, 4),
+           util::Table::fmt_ratio(round.energy / cont.energy, 4),
            util::Table::fmt_ratio(
                core::discrete_transfer_bound(modes, instance.power), 4)});
     }
@@ -50,9 +50,9 @@ int main() {
     const auto app = graph::make_layered(4, 4, 0.5, rng);
     auto instance = bench::mapped_instance(app, 3, s_max, 1.5);
     const std::size_t processors = 3;
-    const auto cont =
-        core::solve_continuous(instance, model::ContinuousModel{s_max});
-    const auto round = core::solve_round_up(instance, modes);
+    auto& eng = bench::shared_engine();
+    const auto cont = eng.solve_one(instance, model::ContinuousModel{s_max});
+    const auto round = eng.solve_one(instance, model::DiscreteModel{modes});
     const auto nodvfs = core::solve_no_dvfs(instance, model::DiscreteModel{modes});
     util::Table table("(b) static power P_static (added as P*D*p to every model)",
                       {"P_static", "cont total", "round total", "nodvfs total",
@@ -61,7 +61,7 @@ int main() {
       const double e_cont = core::with_static_power(
           cont.energy, p_static, instance.deadline, processors);
       const double e_round = core::with_static_power(
-          round.solution.energy, p_static, instance.deadline, processors);
+          round.energy, p_static, instance.deadline, processors);
       const double e_nodvfs = core::with_static_power(
           nodvfs.energy, p_static, instance.deadline, processors);
       table.add_row({util::Table::fmt(p_static, 2), util::Table::fmt(e_cont, 2),
@@ -97,6 +97,7 @@ int main() {
     table.print(std::cout);
   }
 
+  bench::print_engine_stats();
   std::cout << "\nExpected shape: (a) gaps shrink as alpha decreases (energy "
                "is less speed-sensitive); (b) ratios compress toward 1 with "
                "P_static but the ordering never flips; (c) DP energy is "

@@ -27,16 +27,26 @@ int main() {
   const model::EnergyModel vdd = model::VddHoppingModel{modes};
   const model::EnergyModel incremental = model::IncrementalModel(0.25, 1.0, 0.125);
 
+  // Route every curve sample and bisection probe through the engine: the
+  // curve re-solves one topology at many deadlines, so after the first
+  // sample the dispatch cache answers every classification, and repeated
+  // probe deadlines hit the memo.
+  const core::SolveFn via_engine = [](const core::Instance& at,
+                                      const model::EnergyModel& m,
+                                      const core::SolveOptions& opts) {
+    return bench::shared_engine().solve_one(at, m, opts);
+  };
+
   {
     const double lo = 1.02 * d_min;
     const double hi = 3.0 * d_min;
     const std::size_t points = 9;
-    const auto cont_curve =
-        core::energy_deadline_curve(instance, continuous, lo, hi, points);
+    const auto cont_curve = core::energy_deadline_curve(instance, continuous, lo,
+                                                        hi, points, {}, via_engine);
     const auto vdd_curve =
-        core::energy_deadline_curve(instance, vdd, lo, hi, points);
-    const auto inc_curve =
-        core::energy_deadline_curve(instance, incremental, lo, hi, points);
+        core::energy_deadline_curve(instance, vdd, lo, hi, points, {}, via_engine);
+    const auto inc_curve = core::energy_deadline_curve(
+        instance, incremental, lo, hi, points, {}, via_engine);
 
     util::Table table("Pareto curve E*(D), tiled Cholesky 5x5 on 3 processors",
                       {"D/D_min", "Continuous", "Vdd-Hopping", "Incremental"});
@@ -53,18 +63,19 @@ int main() {
 
   {
     // Invert the continuous curve at budgets between the extremes.
-    const auto loose = core::energy_deadline_curve(instance, continuous,
-                                                   3.0 * d_min, 3.0 * d_min, 1);
-    const auto tight = core::energy_deadline_curve(instance, continuous,
-                                                   1.02 * d_min, 1.02 * d_min, 1);
+    const auto loose = core::energy_deadline_curve(
+        instance, continuous, 3.0 * d_min, 3.0 * d_min, 1, {}, via_engine);
+    const auto tight = core::energy_deadline_curve(
+        instance, continuous, 1.02 * d_min, 1.02 * d_min, 1, {}, via_engine);
     util::Table table("Curve inversion: smallest D with E*(D) <= budget",
                       {"budget (% of tight E)", "deadline/D_min", "energy"});
     for (double fraction : {0.9, 0.6, 0.4, 0.2}) {
       const double budget =
           loose.front().energy +
           fraction * (tight.front().energy - loose.front().energy);
-      const auto inv = core::deadline_for_energy(instance, continuous, budget,
-                                                 1.02 * d_min, 3.0 * d_min);
+      const auto inv =
+          core::deadline_for_energy(instance, continuous, budget, 1.02 * d_min,
+                                    3.0 * d_min, 1e-6, {}, via_engine);
       table.add_row({util::Table::fmt_pct(fraction, 0),
                      inv.achievable
                          ? util::Table::fmt(inv.deadline / d_min, 4)
@@ -80,7 +91,7 @@ int main() {
                        "overhead"});
     for (double slack : {1.05, 1.5, 2.5}) {
       core::Instance at{instance.exec_graph, slack * d_min, instance.power};
-      const auto s = core::solve(at, vdd);
+      const auto s = bench::shared_engine().solve_one(at, vdd);
       if (!s.feasible) continue;
       const auto switches = core::total_speed_switches(s);
       const double with_cost = core::energy_with_switch_cost(s, 0.05);
@@ -92,6 +103,7 @@ int main() {
     table.print(std::cout);
   }
 
+  bench::print_engine_stats();
   std::cout << "\nExpected shape: every curve is non-increasing and the "
                "mode-based curves sit above Continuous, flattening at the "
                "slowest-mode floor; inversion recovers the curve; at most "

@@ -29,7 +29,8 @@ int main() {
         auto instance =
             core::make_instance(g, slack * core::min_deadline(g, s_max));
         util::Timer t1;
-        const auto fast = core::solve_tree(instance, model::ContinuousModel{s_max});
+        const auto fast =
+            bench::shared_engine().solve_one(instance, model::ContinuousModel{s_max});
         const double ms_fast = t1.millis();
         util::Timer t2;
         core::ContinuousOptions force;
@@ -52,7 +53,9 @@ int main() {
         auto instance =
             core::make_instance(g, 2.0 * slack * core::min_deadline(g, s_max));
         util::Timer t1;
-        const auto fast = core::solve_sp(instance);
+        const auto fast = bench::shared_engine().solve_one(
+            instance,
+            model::ContinuousModel{std::numeric_limits<double>::infinity()});
         const double ms_fast = t1.millis();
         util::Timer t2;
         core::ContinuousOptions force;
@@ -70,6 +73,7 @@ int main() {
     }
   }
   table.print(std::cout);
+  bench::print_engine_stats();
   std::cout << "\nExpected shape: rel diff within the numeric duality gap "
                "(~1e-6); fast-solver time grows linearly with n.\n";
   return 0;

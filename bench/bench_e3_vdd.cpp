@@ -26,9 +26,11 @@ int main() {
     const auto app = graph::make_layered(4, 4, 0.5, sub);
     auto instance = bench::mapped_instance(app, 3, s_max, slack);
     const auto cont =
-        core::solve_continuous(instance, model::ContinuousModel{s_max});
+        bench::shared_engine().solve_one(instance, model::ContinuousModel{s_max});
     for (std::size_t m : {2u, 3u, 5u, 8u}) {
       const auto modes = bench::spread_modes(m, 0.4, s_max);
+      // Direct LP call: the table reports lp_variables, which the engine's
+      // Solution does not carry.
       const auto lp =
           core::solve_vdd_lp(instance, model::VddHoppingModel{modes});
       const auto two =
@@ -47,6 +49,7 @@ int main() {
     }
   }
   table.print(std::cout);
+  bench::print_engine_stats();
   std::cout << "\nExpected shape: vdd LP >= 1.0000x and decreasing in m; "
                "two-mode >= vdd LP; pivots grow polynomially.\n";
   return 0;

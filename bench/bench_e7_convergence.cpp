@@ -17,7 +17,7 @@ int main() {
   const auto app = graph::make_layered(4, 4, 0.5, rng);
   auto instance = bench::mapped_instance(app, 3, s_max, 1.4);
   const auto cont =
-      core::solve_continuous(instance, model::ContinuousModel{s_max});
+      bench::shared_engine().solve_one(instance, model::ContinuousModel{s_max});
   if (!cont.feasible) {
     std::cout << "unexpected infeasible instance\n";
     return 1;
@@ -28,11 +28,11 @@ int main() {
                       {"m modes", "E vdd", "gap to continuous"});
     for (std::size_t m : {2u, 3u, 4u, 6u, 8u, 12u, 16u}) {
       const auto modes = bench::spread_modes(m, 0.3, s_max);
-      const auto lp = core::solve_vdd_lp(instance, model::VddHoppingModel{modes});
-      if (!lp.solution.feasible) continue;
-      table.add_row({util::Table::fmt(m),
-                     util::Table::fmt(lp.solution.energy, 5),
-                     util::Table::fmt_pct(lp.solution.energy / cont.energy - 1.0, 3)});
+      const auto lp = bench::shared_engine().solve_one(
+          instance, model::VddHoppingModel{modes});
+      if (!lp.feasible) continue;
+      table.add_row({util::Table::fmt(m), util::Table::fmt(lp.energy, 5),
+                     util::Table::fmt_pct(lp.energy / cont.energy - 1.0, 3)});
     }
     table.print(std::cout);
   }
@@ -43,12 +43,12 @@ int main() {
                        "certified bound"});
     for (double delta : {1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125}) {
       const model::IncrementalModel inc(0.3, s_max, delta);
-      const auto round = core::solve_round_up(instance, inc.modes);
-      if (!round.solution.feasible) continue;
+      const auto round = bench::shared_engine().solve_one(instance, inc);
+      if (!round.feasible) continue;
       table.add_row(
           {util::Table::fmt(delta, 5), util::Table::fmt(inc.modes.size()),
-           util::Table::fmt(round.solution.energy, 5),
-           util::Table::fmt_pct(round.solution.energy / cont.energy - 1.0, 3),
+           util::Table::fmt(round.energy, 5),
+           util::Table::fmt_pct(round.energy / cont.energy - 1.0, 3),
            util::Table::fmt_pct(
                core::incremental_transfer_bound(delta, 0.3, instance.power) - 1.0,
                2)});
@@ -56,6 +56,7 @@ int main() {
     table.print(std::cout);
   }
 
+  bench::print_engine_stats();
   std::cout << "\nExpected shape: both gaps shrink monotonically toward 0; "
                "the measured Incremental gap stays far below the certified "
                "per-task worst case.\n";

@@ -40,11 +40,10 @@ int main() {
 
       const auto nodvfs =
           core::solve_no_dvfs(instance, model::DiscreteModel{modes});
-      const auto cont =
-          core::solve_continuous(instance, model::ContinuousModel{s_max});
-      const auto round = core::solve_round_up(instance, modes);
-      if (!nodvfs.feasible || !cont.feasible || !round.solution.feasible)
-        continue;
+      auto& eng = bench::shared_engine();
+      const auto cont = eng.solve_one(instance, model::ContinuousModel{s_max});
+      const auto round = eng.solve_one(instance, model::DiscreteModel{modes});
+      if (!nodvfs.feasible || !cont.feasible || !round.feasible) continue;
 
       const double serial = app.graph.total_weight() / s_max;
       const double efficiency =
@@ -53,10 +52,11 @@ int main() {
           {app.name, util::Table::fmt(exec.num_nodes()), util::Table::fmt(p),
            util::Table::fmt_pct(efficiency, 1),
            util::Table::fmt_pct(1.0 - cont.energy / nodvfs.energy, 1),
-           util::Table::fmt_pct(1.0 - round.solution.energy / nodvfs.energy, 1)});
+           util::Table::fmt_pct(1.0 - round.energy / nodvfs.energy, 1)});
     }
   }
   table.print(std::cout);
+  bench::print_engine_stats();
 
   std::cout << "\nExpected shape: lower parallel efficiency (idle slack on "
                "non-critical processors) => more energy to reclaim; the "

@@ -94,6 +94,33 @@ void BM_SpDecompose(benchmark::State& state) {
 }
 BENCHMARK(BM_SpDecompose)->Arg(100)->Arg(400)->Arg(1600)->Complexity();
 
+void BM_EngineBatch(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(909);
+  std::vector<core::Instance> instances;
+  auto add = [&instances](graph::Digraph g) {
+    const double deadline = 1.4 * core::min_deadline(g, 2.0);
+    instances.push_back(core::make_instance(std::move(g), deadline));
+  };
+  for (int k = 0; k < 16; ++k) {
+    add(graph::make_chain(20, rng));
+    add(graph::make_random_out_tree(24, rng));
+    add(graph::make_fork_join_chain(3, 4, rng));
+    add(graph::make_stencil(4, 5, rng));
+  }
+  engine::EngineOptions options;
+  options.threads = threads;
+  options.memoize = false;  // measure raw solve throughput, not cache hits
+  engine::ReclaimEngine eng(options);
+  for (auto _ : state) {
+    auto out = eng.solve_batch(instances, model::ContinuousModel{2.0});
+    benchmark::DoNotOptimize(out.back().energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() *
+                                                    instances.size()));
+}
+BENCHMARK(BM_EngineBatch)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_ListSchedule(benchmark::State& state) {
   const auto tiles = static_cast<std::size_t>(state.range(0));
   const auto g = graph::make_tiled_cholesky(tiles);

@@ -8,9 +8,29 @@
 
 namespace reclaim::bench {
 
+/// Process-wide batch engine for the harness. Every bench routes its
+/// solves through this so repeated topologies hit the dispatch cache and
+/// repeated sub-instances hit the solution memo.
+inline engine::ReclaimEngine& shared_engine() {
+  static engine::ReclaimEngine engine;
+  return engine;
+}
+
 /// Standard experiment banner: what is being reproduced and from where.
+/// Also constructs the shared engine, so its thread pool never starts up
+/// inside a bench's first timed region.
 inline void banner(const std::string& id, const std::string& claim) {
+  (void)shared_engine();
   std::cout << "=== " << id << " ===\n" << claim << "\n";
+}
+
+/// One-line cache/throughput summary, printed at the end of a bench run.
+inline void print_engine_stats(std::ostream& out = std::cout) {
+  const auto s = shared_engine().stats();
+  out << "[engine] threads " << shared_engine().threads() << ", batches "
+      << s.batches << ", instances " << s.instances << ", fresh solves "
+      << s.fresh_solves << ", memo hits " << s.memo_hits << ", shape hits "
+      << s.shape_hits << "\n";
 }
 
 /// List-schedules `app` on `processors` at the fastest admissible speed

@@ -14,9 +14,9 @@ int main() {
 
   // 1. A small application: two pipelines that merge into a final task.
   //
-  //        A(4) -> B(2) \
-  //                      -> E(3)
-  //        C(1) -> D(5) /
+  //        A(4) -> B(2) --.
+  //                         '-> E(3)
+  //        C(1) -> D(5) --'
   graph::Digraph app;
   const auto a = app.add_node(4.0, "A");
   const auto b = app.add_node(2.0, "B");

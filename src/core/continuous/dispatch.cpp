@@ -39,38 +39,86 @@ Solution solve_continuous(const Instance& instance,
   const auto& g = instance.exec_graph;
   if (options.force_numeric) return numeric(instance, model, options);
 
+  // Classify inline (same order as graph::classify) rather than calling it:
+  // classify would run the SP decomposition and discard the tree, and the
+  // kSeriesParallel case below needs it — this way it runs at most once.
+  std::optional<graph::SpTree> local_tree;
+  const graph::SpTree* sp_tree = nullptr;
+  graph::GraphShape shape;
+  if (options.shape_hint) {
+    shape = *options.shape_hint;
+    if (shape == graph::GraphShape::kSeriesParallel) {
+      if (options.sp_hint) {
+        sp_tree = options.sp_hint.get();
+      } else if ((local_tree = graph::sp_decompose(g))) {
+        sp_tree = &*local_tree;
+      }
+    }
+  } else if (g.num_nodes() == 0) {
+    shape = graph::GraphShape::kEmpty;
+  } else if (g.num_nodes() == 1) {
+    shape = graph::GraphShape::kSingleTask;
+  } else if (graph::is_chain(g)) {
+    shape = graph::GraphShape::kChain;
+  } else if (graph::is_fork(g)) {
+    shape = graph::GraphShape::kFork;
+  } else if (graph::is_join(g)) {
+    shape = graph::GraphShape::kJoin;
+  } else if (graph::is_out_tree(g)) {
+    shape = graph::GraphShape::kOutTree;
+  } else if (graph::is_in_tree(g)) {
+    shape = graph::GraphShape::kInTree;
+  } else if ((local_tree = graph::sp_decompose(g))) {
+    shape = graph::GraphShape::kSeriesParallel;
+    sp_tree = &*local_tree;
+  } else {
+    shape = graph::GraphShape::kGeneral;
+  }
+
   Solution s;
   bool solved = false;
 
-  if (g.num_nodes() == 0) {
-    s.feasible = true;
-    s.energy = 0.0;
-    s.method = "trivial-empty";
-    return s;
-  }
-  if (g.num_nodes() == 1) {
-    s = solve_single(instance, model);
-    solved = true;
-  } else if (graph::is_chain(g)) {
-    s = solve_chain(instance, model);
-    solved = true;
-  } else if (graph::is_fork(g)) {
-    s = solve_fork(instance, model);
-    solved = true;
-  } else if (graph::is_join(g)) {
-    s = solve_join(instance, model);
-    solved = true;
-  } else if (graph::is_out_tree(g) || graph::is_in_tree(g)) {
-    s = solve_tree(instance, model);
-    solved = true;
-  } else if (const auto tree = graph::sp_decompose(g)) {
-    // The SP algebra assumes s_max = +inf (Theorem 2); accept its answer
-    // only when the unconstrained optimum happens to respect the cap.
-    s = solve_sp(instance, *tree);
-    const double top =
-        s.speeds.empty() ? 0.0
-                         : *std::max_element(s.speeds.begin(), s.speeds.end());
-    solved = s.feasible && top <= model.s_max * (1.0 + 1e-12);
+  switch (shape) {
+    case graph::GraphShape::kEmpty:
+      s.feasible = true;
+      s.energy = 0.0;
+      s.method = "trivial-empty";
+      return s;
+    case graph::GraphShape::kSingleTask:
+      s = solve_single(instance, model);
+      solved = true;
+      break;
+    case graph::GraphShape::kChain:
+      s = solve_chain(instance, model);
+      solved = true;
+      break;
+    case graph::GraphShape::kFork:
+      s = solve_fork(instance, model);
+      solved = true;
+      break;
+    case graph::GraphShape::kJoin:
+      s = solve_join(instance, model);
+      solved = true;
+      break;
+    case graph::GraphShape::kOutTree:
+    case graph::GraphShape::kInTree:
+      s = solve_tree(instance, model);
+      solved = true;
+      break;
+    case graph::GraphShape::kSeriesParallel:
+      if (sp_tree != nullptr) {
+        // The SP algebra assumes s_max = +inf (Theorem 2); accept its answer
+        // only when the unconstrained optimum happens to respect the cap.
+        s = solve_sp(instance, *sp_tree);
+        const double top = s.speeds.empty()
+                               ? 0.0
+                               : *std::max_element(s.speeds.begin(),
+                                                   s.speeds.end());
+        solved = s.feasible && top <= model.s_max * (1.0 + 1e-12);
+      }
+      break;
+    case graph::GraphShape::kGeneral:
+      break;
   }
 
   if (solved && s.feasible && !respects_floor(instance, s, options.s_min)) {

@@ -10,7 +10,12 @@
 // the numeric solver whenever the unrestricted optimum violates it.
 #pragma once
 
+#include <memory>
+#include <optional>
+
 #include "core/problem.hpp"
+#include "graph/classify.hpp"
+#include "graph/sp_tree.hpp"
 #include "model/energy_model.hpp"
 
 namespace reclaim::core {
@@ -19,6 +24,13 @@ struct ContinuousOptions {
   double s_min = 0.0;      ///< optional speed floor (Theorem 5 relaxation)
   double rel_gap = 1e-9;   ///< numeric-solver duality gap
   bool force_numeric = false;  ///< bypass closed forms (for cross-checks)
+  /// Pre-computed classification of the execution graph. The engine's
+  /// dispatch cache classifies each topology once and passes the result
+  /// here so repeated shapes skip the structural analysis entirely.
+  std::optional<graph::GraphShape> shape_hint;
+  /// Pre-computed SP decomposition to go with a kSeriesParallel hint, so
+  /// repeated SP topologies skip the decomposition too.
+  std::shared_ptr<const graph::SpTree> sp_hint;
 };
 
 /// Solves the Continuous MinEnergy instance.

@@ -15,10 +15,15 @@ namespace reclaim::core {
 
 struct SolveOptions {
   /// Use the exact exponential solver for Discrete/Incremental when the
-  /// graph has at most this many tasks; CONT-ROUND beyond.
+  /// graph has at most this many tasks; CONT-ROUND beyond. 0 forces
+  /// CONT-ROUND regardless of size (the engine's chain-DP route honors
+  /// this too).
   std::size_t exact_discrete_up_to = 12;
   /// Numeric/relaxation accuracy.
   double rel_gap = 1e-9;
+  /// Speed floor for the Continuous model (Theorem 5's restricted
+  /// relaxation); 0 means unrestricted.
+  double continuous_s_min = 0.0;
 };
 
 /// Solves the instance under `energy_model`. The returned Solution's

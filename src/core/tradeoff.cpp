@@ -9,8 +9,10 @@ namespace reclaim::core {
 namespace {
 
 Solution solve_at(const Instance& instance, const model::EnergyModel& model,
-                  double deadline, const SolveOptions& options) {
+                  double deadline, const SolveOptions& options,
+                  const SolveFn& solver) {
   Instance at{instance.exec_graph, deadline, instance.power};
+  if (solver) return solver(at, model, options);
   return solve(at, model, options);
 }
 
@@ -18,7 +20,8 @@ Solution solve_at(const Instance& instance, const model::EnergyModel& model,
 
 std::vector<TradeoffPoint> energy_deadline_curve(
     const Instance& instance, const model::EnergyModel& energy_model,
-    double d_lo, double d_hi, std::size_t points, const SolveOptions& options) {
+    double d_lo, double d_hi, std::size_t points, const SolveOptions& options,
+    const SolveFn& solver) {
   util::require(points >= 1, "curve needs at least one point");
   util::require(d_lo > 0.0 && d_lo <= d_hi, "invalid deadline range");
 
@@ -29,7 +32,7 @@ std::vector<TradeoffPoint> energy_deadline_curve(
                                  : static_cast<double>(i) /
                                        static_cast<double>(points - 1);
     const double deadline = d_lo + t * (d_hi - d_lo);
-    const Solution s = solve_at(instance, energy_model, deadline, options);
+    const Solution s = solve_at(instance, energy_model, deadline, options, solver);
     curve.push_back({deadline, s.energy, s.feasible});
   }
   return curve;
@@ -39,15 +42,16 @@ DeadlineForEnergyResult deadline_for_energy(const Instance& instance,
                                             const model::EnergyModel& energy_model,
                                             double budget, double d_lo,
                                             double d_hi, double rel_tol,
-                                            const SolveOptions& options) {
+                                            const SolveOptions& options,
+                                            const SolveFn& solver) {
   util::require(d_lo > 0.0 && d_lo <= d_hi, "invalid deadline range");
   util::require(budget > 0.0, "energy budget must be positive");
 
   DeadlineForEnergyResult result;
-  const Solution at_hi = solve_at(instance, energy_model, d_hi, options);
+  const Solution at_hi = solve_at(instance, energy_model, d_hi, options, solver);
   if (!at_hi.feasible || at_hi.energy > budget) return result;  // unachievable
 
-  const Solution at_lo = solve_at(instance, energy_model, d_lo, options);
+  const Solution at_lo = solve_at(instance, energy_model, d_lo, options, solver);
   if (at_lo.feasible && at_lo.energy <= budget) {
     result.achievable = true;
     result.deadline = d_lo;
@@ -61,7 +65,7 @@ DeadlineForEnergyResult deadline_for_energy(const Instance& instance,
   double hi_energy = at_hi.energy;
   while (hi - lo > rel_tol * hi) {
     const double mid = 0.5 * (lo + hi);
-    const Solution s = solve_at(instance, energy_model, mid, options);
+    const Solution s = solve_at(instance, energy_model, mid, options, solver);
     if (s.feasible && s.energy <= budget) {
       hi = mid;
       hi_energy = s.energy;

@@ -8,6 +8,7 @@
 //     (bisection over the monotone curve).
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/problem.hpp"
@@ -22,12 +23,19 @@ struct TradeoffPoint {
   bool feasible = false;
 };
 
+/// Pluggable solver for the tradeoff utilities. Defaults to core::solve;
+/// callers can route through engine::ReclaimEngine so curve samples and
+/// bisection probes reuse its dispatch cache and memo (the curve re-solves
+/// the same topology at many deadlines).
+using SolveFn = std::function<Solution(
+    const Instance&, const model::EnergyModel&, const SolveOptions&)>;
+
 /// Samples E*(D) at `points` evenly spaced deadlines in [d_lo, d_hi].
 /// Requires d_lo <= d_hi and points >= 1.
 [[nodiscard]] std::vector<TradeoffPoint> energy_deadline_curve(
     const Instance& instance, const model::EnergyModel& energy_model,
     double d_lo, double d_hi, std::size_t points,
-    const SolveOptions& options = {});
+    const SolveOptions& options = {}, const SolveFn& solver = {});
 
 struct DeadlineForEnergyResult {
   double deadline = 0.0;   ///< smallest deadline meeting the budget
@@ -43,6 +51,6 @@ struct DeadlineForEnergyResult {
 [[nodiscard]] DeadlineForEnergyResult deadline_for_energy(
     const Instance& instance, const model::EnergyModel& energy_model,
     double budget, double d_lo, double d_hi, double rel_tol = 1e-6,
-    const SolveOptions& options = {});
+    const SolveOptions& options = {}, const SolveFn& solver = {});
 
 }  // namespace reclaim::core

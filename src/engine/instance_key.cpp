@@ -1,0 +1,87 @@
+#include "engine/instance_key.hpp"
+
+#include <cstdint>
+#include <cstring>
+
+namespace reclaim::engine {
+
+namespace {
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char bytes[sizeof v];
+  std::memcpy(bytes, &v, sizeof v);
+  out.append(bytes, sizeof v);
+}
+
+void put_double(std::string& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_modes(std::string& out, const model::ModeSet& modes) {
+  put_u64(out, modes.size());
+  for (double s : modes.speeds()) put_double(out, s);
+}
+
+void put_topology(std::string& out, const graph::Digraph& g) {
+  put_u64(out, g.num_nodes());
+  put_u64(out, g.num_edges());
+  for (const auto& e : g.edges()) {
+    put_u64(out, e.from);
+    put_u64(out, e.to);
+  }
+}
+
+void put_model(std::string& out, const model::EnergyModel& energy_model) {
+  std::visit(
+      [&out](const auto& m) {
+        using M = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<M, model::ContinuousModel>) {
+          out.push_back('C');
+          put_double(out, m.s_max);
+        } else if constexpr (std::is_same_v<M, model::DiscreteModel>) {
+          out.push_back('D');
+          put_modes(out, m.modes);
+        } else if constexpr (std::is_same_v<M, model::VddHoppingModel>) {
+          out.push_back('V');
+          put_modes(out, m.modes);
+        } else {
+          static_assert(std::is_same_v<M, model::IncrementalModel>);
+          out.push_back('I');
+          put_double(out, m.s_min);
+          put_double(out, m.s_max);
+          put_double(out, m.delta);
+        }
+      },
+      energy_model);
+}
+
+}  // namespace
+
+std::string topology_key(const graph::Digraph& g) {
+  std::string key;
+  key.reserve(16 + 16 * g.num_edges());
+  put_topology(key, g);
+  return key;
+}
+
+std::string instance_key(const core::Instance& instance,
+                         const model::EnergyModel& model,
+                         const core::SolveOptions& options) {
+  const auto& g = instance.exec_graph;
+  std::string key;
+  key.reserve(64 + 8 * g.num_nodes() + 16 * g.num_edges());
+  put_topology(key, g);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) put_double(key, g.weight(v));
+  put_double(key, instance.deadline);
+  put_double(key, instance.power.alpha());
+  put_model(key, model);
+  put_u64(key, options.exact_discrete_up_to);
+  put_double(key, options.rel_gap);
+  put_double(key, options.continuous_s_min);
+  return key;
+}
+
+}  // namespace reclaim::engine

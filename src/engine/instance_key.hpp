@@ -1,0 +1,35 @@
+// Canonical byte-string keys for the engine's caches.
+//
+// Two granularities:
+//   - topology_key: node count + edge list only. Two instances share it
+//     exactly when their execution graphs have identical node ids and
+//     edges, which is what the per-structure dispatch cache needs (the
+//     classification ignores weights, deadlines and models).
+//   - instance_key: topology + weights + deadline + power law + energy
+//     model + the solver options that affect the answer. Two instances
+//     share it exactly when a deterministic solver must return the same
+//     Solution, which is what the solution memo needs.
+//
+// Keys are deterministic byte encodings (doubles by bit pattern, sizes as
+// fixed-width integers), so equal keys imply equal inputs — the memo never
+// needs a structural comparison and hash collisions cannot alias results.
+#pragma once
+
+#include <string>
+
+#include "core/problem.hpp"
+#include "core/solve.hpp"
+#include "graph/digraph.hpp"
+#include "model/energy_model.hpp"
+
+namespace reclaim::engine {
+
+/// Canonical encoding of the graph structure (ids + edges, no weights).
+[[nodiscard]] std::string topology_key(const graph::Digraph& g);
+
+/// Canonical encoding of everything that determines solve()'s answer.
+[[nodiscard]] std::string instance_key(const core::Instance& instance,
+                                       const model::EnergyModel& model,
+                                       const core::SolveOptions& options);
+
+}  // namespace reclaim::engine

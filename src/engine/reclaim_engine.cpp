@@ -1,0 +1,228 @@
+#include "engine/reclaim_engine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <utility>
+
+#include "core/continuous/dispatch.hpp"
+#include "core/discrete/chain_dp.hpp"
+#include "core/discrete/exact_bb.hpp"
+#include "core/discrete/round_up.hpp"
+#include "core/vdd/lp_solver.hpp"
+#include "engine/instance_key.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::engine {
+
+namespace {
+
+/// Chunk size for the shared-cursor scheduler: small enough that a skewed
+/// instance cannot strand more than a chunk's worth of work behind it,
+/// large enough to amortize the atomic fetch.
+std::size_t chunk_size(std::size_t n, std::size_t workers) {
+  return std::clamp<std::size_t>(n / (workers * 8), 1, 64);
+}
+
+}  // namespace
+
+ReclaimEngine::ReclaimEngine(EngineOptions options) : options_(options) {
+  if (options_.threads != 1) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  }
+}
+
+ReclaimEngine::~ReclaimEngine() = default;
+
+std::size_t ReclaimEngine::threads() const noexcept {
+  return pool_ ? pool_->size() : 1;
+}
+
+ReclaimEngine::ShapeEntry ReclaimEngine::shape_of(const graph::Digraph& g) {
+  if (!options_.reuse_shapes) return {graph::classify(g), nullptr};
+  const std::string key = topology_key(g);
+  {
+    const std::shared_lock lock(shape_mutex_);
+    const auto it = shapes_.find(key);
+    if (it != shapes_.end()) {
+      shape_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  ShapeEntry entry{graph::classify(g), nullptr};
+  if (entry.shape == graph::GraphShape::kSeriesParallel) {
+    // Decompose once at cache-fill time; every later solve of this
+    // topology reuses the tree via ContinuousOptions::sp_hint.
+    if (auto tree = graph::sp_decompose(g)) {
+      entry.sp_tree = std::make_shared<const graph::SpTree>(std::move(*tree));
+    }
+  }
+  const std::unique_lock lock(shape_mutex_);
+  shapes_.emplace(key, entry);
+  return entry;
+}
+
+core::Solution ReclaimEngine::dispatch(const core::Instance& instance,
+                                       const model::EnergyModel& model,
+                                       const core::SolveOptions& options) {
+  // The Vdd LP is shape-independent; skip the structural analysis.
+  if (const auto* vdd = std::get_if<model::VddHoppingModel>(&model)) {
+    return core::solve_vdd_lp(instance, *vdd).solution;
+  }
+
+  const ShapeEntry entry = shape_of(instance.exec_graph);
+  const graph::GraphShape shape = entry.shape;
+
+  const auto solve_modes = [&](const model::ModeSet& modes) -> core::Solution {
+    const std::size_t n = instance.exec_graph.num_nodes();
+    if (n <= options.exact_discrete_up_to) {
+      return core::solve_discrete_exact(instance, modes).solution;
+    }
+    // exact_discrete_up_to == 0 means "force CONT-ROUND" (callers
+    // validating Theorem 5 rely on it), so it disables the DP route too.
+    if (options_.chain_dp && options.exact_discrete_up_to > 0 &&
+        (shape == graph::GraphShape::kChain ||
+         shape == graph::GraphShape::kSingleTask)) {
+      return core::solve_chain_dp(instance, modes).solution;
+    }
+    core::RoundUpOptions round_options;
+    round_options.continuous_rel_gap = options.rel_gap;
+    return core::solve_round_up(instance, modes, round_options).solution;
+  };
+
+  return std::visit(
+      [&](const auto& m) -> core::Solution {
+        using M = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<M, model::ContinuousModel>) {
+          core::ContinuousOptions continuous_options;
+          continuous_options.rel_gap = options.rel_gap;
+          continuous_options.s_min = options.continuous_s_min;
+          continuous_options.shape_hint = shape;
+          continuous_options.sp_hint = entry.sp_tree;
+          return core::solve_continuous(instance, m, continuous_options);
+        } else if constexpr (std::is_same_v<M, model::VddHoppingModel>) {
+          return core::solve_vdd_lp(instance, m).solution;  // unreachable
+        } else if constexpr (std::is_same_v<M, model::DiscreteModel>) {
+          return solve_modes(m.modes);
+        } else {
+          static_assert(std::is_same_v<M, model::IncrementalModel>);
+          return solve_modes(m.modes);
+        }
+      },
+      model);
+}
+
+core::Solution ReclaimEngine::solve_routed(const core::Instance& instance,
+                                           const model::EnergyModel& model,
+                                           const core::SolveOptions& options) {
+  instances_.fetch_add(1, std::memory_order_relaxed);
+  util::require(instance.deadline > 0.0,
+                "ReclaimEngine: instance deadline must be positive");
+
+  std::string key;
+  if (options_.memoize) {
+    key = instance_key(instance, model, options);
+    const std::shared_lock lock(memo_mutex_);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+
+  core::Solution solution = dispatch(instance, model, options);
+  fresh_solves_.fetch_add(1, std::memory_order_relaxed);
+
+  if (options_.memoize) {
+    const std::unique_lock lock(memo_mutex_);
+    // Two workers may race on the same key; both computed the identical
+    // deterministic solution, so first-in wins harmlessly. A full memo
+    // stops caching (memo_capacity bounds a long-lived engine's memory).
+    if (options_.memo_capacity == 0 || memo_.size() < options_.memo_capacity) {
+      memo_.emplace(std::move(key), solution);
+    }
+  }
+  return solution;
+}
+
+std::vector<core::Solution> ReclaimEngine::solve_batch(
+    std::span<const core::Instance> instances, const model::EnergyModel& model,
+    const core::SolveOptions& options) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t n = instances.size();
+  std::vector<core::Solution> out(n);
+  if (n == 0) return out;
+
+  const std::size_t workers = pool_ ? std::min(pool_->size(), n) : 1;
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = solve_routed(instances[i], model, options);
+    }
+    return out;
+  }
+
+  const std::size_t chunk = chunk_size(n, workers);
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto drain = [&] {
+    while (!abort.load(std::memory_order_relaxed)) {
+      const std::size_t lo = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= n) return;
+      const std::size_t hi = std::min(n, lo + chunk);
+      for (std::size_t i = lo; i < hi; ++i) {
+        try {
+          out[i] = solve_routed(instances[i], model, options);
+        } catch (...) {
+          {
+            const std::lock_guard lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  };
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) futures.push_back(pool_->submit(drain));
+  for (auto& f : futures) f.get();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+core::Solution ReclaimEngine::solve_one(const core::Instance& instance,
+                                        const model::EnergyModel& model,
+                                        const core::SolveOptions& options) {
+  return solve_routed(instance, model, options);
+}
+
+EngineStats ReclaimEngine::stats() const {
+  EngineStats s;
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.instances = instances_.load(std::memory_order_relaxed);
+  s.fresh_solves = fresh_solves_.load(std::memory_order_relaxed);
+  s.memo_hits = memo_hits_.load(std::memory_order_relaxed);
+  s.shape_hits = shape_hits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ReclaimEngine::clear_caches() {
+  const std::unique_lock memo_lock(memo_mutex_);
+  const std::unique_lock shape_lock(shape_mutex_);
+  memo_.clear();
+  shapes_.clear();
+  batches_.store(0);
+  instances_.store(0);
+  fresh_solves_.store(0);
+  memo_hits_.store(0);
+  shape_hits_.store(0);
+}
+
+}  // namespace reclaim::engine

@@ -1,0 +1,131 @@
+// ReclaimEngine: the batched front door of the library.
+//
+// The paper's experiments — and any production deployment — solve large
+// sweeps of independent MinEnergy instances, not one instance at a time.
+// The engine turns core::solve() into a high-throughput batch service:
+//
+//   - solve_batch() shards a span of instances across a ThreadPool using
+//     dynamic (work-stealing-friendly) chunking: workers pull small index
+//     chunks from a shared atomic cursor, so skewed instances (one huge
+//     general DAG among many chains) cannot strand a thread.
+//   - A per-structure dispatch cache classifies each distinct topology
+//     once (graph::classify) and routes chains, trees and series-parallel
+//     graphs straight to their closed-form/DP solvers via
+//     ContinuousOptions::shape_hint, skipping re-classification for
+//     repeated shapes.
+//   - A solution memo keyed by a canonical instance encoding
+//     (engine/instance_key.hpp) returns identical sub-instances of a sweep
+//     without re-solving; memoized results are bit-identical to fresh ones
+//     because every solver is deterministic.
+//
+// Results are deterministic regardless of thread count: output slot i
+// always holds the solution of instance i, and routing depends only on
+// the instance itself. The first exception raised by a poisoned instance
+// aborts the batch and is rethrown on the caller's thread.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/solve.hpp"
+#include "graph/classify.hpp"
+#include "graph/sp_tree.hpp"
+#include "model/energy_model.hpp"
+#include "util/thread_pool.hpp"
+
+namespace reclaim::engine {
+
+struct EngineOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency(). With 1
+  /// the batch runs inline on the caller's thread (no pool).
+  std::size_t threads = 0;
+  /// Memoize solutions by canonical instance key.
+  bool memoize = true;
+  /// Memo entry cap (0 = unbounded). Once full, fresh results are still
+  /// returned but no longer cached, bounding a long-lived engine's memory.
+  std::size_t memo_capacity = 1 << 16;
+  /// Cache graph::classify results (and SP decompositions) by topology key.
+  bool reuse_shapes = true;
+  /// Route Discrete/Incremental chains too large for branch-and-bound to
+  /// the pseudo-polynomial chain DP instead of CONT-ROUND.
+  bool chain_dp = true;
+};
+
+/// Cumulative counters since construction (or the last clear_caches()).
+struct EngineStats {
+  std::size_t batches = 0;
+  std::size_t instances = 0;     ///< total instances seen
+  std::size_t fresh_solves = 0;  ///< instances that ran a solver
+  std::size_t memo_hits = 0;     ///< instances answered from the memo
+  std::size_t shape_hits = 0;    ///< classifications answered from the cache
+};
+
+class ReclaimEngine {
+ public:
+  explicit ReclaimEngine(EngineOptions options = {});
+  ~ReclaimEngine();
+
+  ReclaimEngine(const ReclaimEngine&) = delete;
+  ReclaimEngine& operator=(const ReclaimEngine&) = delete;
+
+  /// Solves every instance under `model`; slot i of the result is the
+  /// solution of instances[i]. Rethrows the first exception raised by a
+  /// poisoned instance after aborting the remaining work.
+  [[nodiscard]] std::vector<core::Solution> solve_batch(
+      std::span<const core::Instance> instances, const model::EnergyModel& model,
+      const core::SolveOptions& options = {});
+
+  /// Single-instance convenience: goes through the same caches.
+  [[nodiscard]] core::Solution solve_one(const core::Instance& instance,
+                                         const model::EnergyModel& model,
+                                         const core::SolveOptions& options = {});
+
+  /// Worker threads the engine dispatches onto (>= 1).
+  [[nodiscard]] std::size_t threads() const noexcept;
+
+  [[nodiscard]] EngineStats stats() const;
+
+  /// Drops the memo and dispatch caches and resets the counters.
+  void clear_caches();
+
+ private:
+  /// Cached structural analysis of one topology: the classification plus,
+  /// for series-parallel graphs, the decomposition tree (so repeated SP
+  /// shapes skip the decomposition, their dominant structural cost).
+  struct ShapeEntry {
+    graph::GraphShape shape = graph::GraphShape::kGeneral;
+    std::shared_ptr<const graph::SpTree> sp_tree;
+  };
+
+  core::Solution solve_routed(const core::Instance& instance,
+                              const model::EnergyModel& model,
+                              const core::SolveOptions& options);
+  core::Solution dispatch(const core::Instance& instance,
+                          const model::EnergyModel& model,
+                          const core::SolveOptions& options);
+  ShapeEntry shape_of(const graph::Digraph& g);
+
+  EngineOptions options_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< null when threads == 1
+
+  mutable std::shared_mutex memo_mutex_;
+  std::unordered_map<std::string, core::Solution> memo_;
+
+  mutable std::shared_mutex shape_mutex_;
+  std::unordered_map<std::string, ShapeEntry> shapes_;
+
+  std::atomic<std::size_t> batches_{0};
+  std::atomic<std::size_t> instances_{0};
+  std::atomic<std::size_t> fresh_solves_{0};
+  std::atomic<std::size_t> memo_hits_{0};
+  std::atomic<std::size_t> shape_hits_{0};
+};
+
+}  // namespace reclaim::engine

@@ -30,6 +30,8 @@
 #include "core/tradeoff.hpp"
 #include "core/vdd/lp_solver.hpp"
 #include "core/vdd/two_mode.hpp"
+#include "engine/instance_key.hpp"
+#include "engine/reclaim_engine.hpp"
 #include "io/graph_io.hpp"
 #include "graph/classify.hpp"
 #include "graph/digraph.hpp"
@@ -44,6 +46,7 @@
 #include "sched/list_scheduler.hpp"
 #include "sched/mapping.hpp"
 #include "sched/schedule.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

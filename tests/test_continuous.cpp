@@ -318,8 +318,11 @@ TEST(NumericSolver, BoundaryDeadlineReturnsAllSmax) {
   auto instance = rc::make_instance(g, d_min);
   const auto s = rc::solve_numeric(instance, rm::ContinuousModel{2.0});
   ASSERT_TRUE(s.feasible);
-  for (rg::NodeId v = 0; v < g.num_nodes(); ++v)
-    if (g.weight(v) > 0.0) EXPECT_DOUBLE_EQ(s.speeds[v], 2.0);
+  for (rg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.weight(v) > 0.0) {
+      EXPECT_DOUBLE_EQ(s.speeds[v], 2.0);
+    }
+  }
 }
 
 TEST(NumericSolver, SpeedFloorIsHonoured) {
@@ -331,8 +334,11 @@ TEST(NumericSolver, SpeedFloorIsHonoured) {
   options.s_min = 1.0;
   const auto s = rc::solve_numeric(instance, rm::ContinuousModel{2.0}, options);
   ASSERT_TRUE(s.feasible);
-  for (rg::NodeId v = 0; v < g.num_nodes(); ++v)
-    if (g.weight(v) > 0.0) EXPECT_GE(s.speeds[v], 1.0 - 1e-6);
+  for (rg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.weight(v) > 0.0) {
+      EXPECT_GE(s.speeds[v], 1.0 - 1e-6);
+    }
+  }
 }
 
 TEST(NumericSolver, ZeroWeightTasksSupported) {

@@ -80,9 +80,10 @@ TEST(ExactBb, ChainMatchesOracle) {
     const auto bb = rc::solve_discrete_exact(instance, m);
     const auto oracle = rc::solve_discrete_enumerate(instance, m);
     ASSERT_EQ(bb.solution.feasible, oracle.feasible) << trial;
-    if (oracle.feasible)
+    if (oracle.feasible) {
       EXPECT_NEAR(bb.solution.energy, oracle.energy,
                   1e-9 * (1.0 + oracle.energy));
+    }
   }
 }
 

@@ -1,0 +1,226 @@
+// ReclaimEngine tests: batch/single-shot parity, determinism across thread
+// counts, memo and dispatch-cache behavior, and exception propagation from
+// a poisoned instance mid-batch.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/solve.hpp"
+#include "engine/instance_key.hpp"
+#include "engine/reclaim_engine.hpp"
+#include "graph/generators.hpp"
+#include "model/energy_model.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rc = reclaim::core;
+namespace re = reclaim::engine;
+namespace rg = reclaim::graph;
+namespace rm = reclaim::model;
+
+namespace {
+
+/// Mixed chain/fork/tree/SP/general instances (the DAG itself is used as
+/// the execution graph; any DAG is a valid execution graph).
+std::vector<rc::Instance> mixed_instances(std::uint64_t seed,
+                                          std::size_t per_family = 4) {
+  reclaim::util::Rng rng(seed);
+  std::vector<rg::Digraph> graphs;
+  for (std::size_t k = 0; k < per_family; ++k) {
+    graphs.push_back(rg::make_chain(6 + k, rng));
+    graphs.push_back(rg::make_fork(4 + k, rng));
+    graphs.push_back(rg::make_random_out_tree(8 + k, rng));
+    graphs.push_back(rg::make_fork_join_chain(2, 2 + k, rng));
+    graphs.push_back(rg::make_stencil(3, 3 + k, rng));
+  }
+  std::vector<rc::Instance> instances;
+  for (auto& g : graphs) {
+    const double d_min = rc::min_deadline(g, 1.0);
+    instances.push_back(rc::make_instance(std::move(g), 1.5 * d_min));
+  }
+  return instances;
+}
+
+void expect_identical(const rc::Solution& a, const rc::Solution& b) {
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.energy, b.energy);  // bit-identical, not approximately equal
+  EXPECT_EQ(a.method, b.method);
+  ASSERT_EQ(a.speeds.size(), b.speeds.size());
+  for (std::size_t i = 0; i < a.speeds.size(); ++i) {
+    EXPECT_EQ(a.speeds[i], b.speeds[i]);
+  }
+  ASSERT_EQ(a.profiles.size(), b.profiles.size());
+  for (std::size_t i = 0; i < a.profiles.size(); ++i) {
+    ASSERT_EQ(a.profiles[i].segments.size(), b.profiles[i].segments.size());
+    for (std::size_t s = 0; s < a.profiles[i].segments.size(); ++s) {
+      EXPECT_EQ(a.profiles[i].segments[s].speed, b.profiles[i].segments[s].speed);
+      EXPECT_EQ(a.profiles[i].segments[s].duration,
+                b.profiles[i].segments[s].duration);
+    }
+  }
+}
+
+}  // namespace
+
+TEST(InstanceKey, DistinguishesWeightsDeadlinesAndModels) {
+  reclaim::util::Rng rng(5);
+  auto g1 = rg::make_chain({1.0, 2.0, 3.0});
+  auto g2 = rg::make_chain({1.0, 2.0, 4.0});
+  const auto i1 = rc::make_instance(g1, 10.0);
+  const auto i2 = rc::make_instance(g2, 10.0);
+  const auto i3 = rc::make_instance(g1, 11.0);
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  const rm::EnergyModel disc = rm::DiscreteModel{rm::ModeSet({1.0, 2.0})};
+  const rc::SolveOptions opts;
+
+  EXPECT_EQ(re::topology_key(i1.exec_graph), re::topology_key(i2.exec_graph));
+  EXPECT_EQ(re::instance_key(i1, cont, opts), re::instance_key(i1, cont, opts));
+  EXPECT_NE(re::instance_key(i1, cont, opts), re::instance_key(i2, cont, opts));
+  EXPECT_NE(re::instance_key(i1, cont, opts), re::instance_key(i3, cont, opts));
+  EXPECT_NE(re::instance_key(i1, cont, opts), re::instance_key(i1, disc, opts));
+}
+
+TEST(ReclaimEngine, MatchesSingleShotSolve) {
+  const auto instances = mixed_instances(11);
+  re::EngineOptions engine_options;
+  engine_options.threads = 2;
+  engine_options.chain_dp = false;  // exact parity with core::solve routing
+  re::ReclaimEngine engine(engine_options);
+
+  const std::vector<rm::EnergyModel> models = {
+      rm::ContinuousModel{2.0},
+      rm::DiscreteModel{rm::ModeSet({0.5, 1.0, 1.5, 2.0})}};
+  for (const auto& model : models) {
+    const auto batch = engine.solve_batch(instances, model);
+    ASSERT_EQ(batch.size(), instances.size());
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      expect_identical(batch[i], rc::solve(instances[i], model));
+    }
+  }
+}
+
+TEST(ReclaimEngine, DeterministicAcrossThreadCounts) {
+  const auto instances = mixed_instances(23);
+  const rm::EnergyModel model = rm::ContinuousModel{2.0};
+
+  std::vector<std::vector<rc::Solution>> runs;
+  for (std::size_t threads : {1, 2, 4}) {
+    re::EngineOptions engine_options;
+    engine_options.threads = threads;
+    re::ReclaimEngine engine(engine_options);
+    runs.push_back(engine.solve_batch(instances, model));
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      expect_identical(runs[r][i], runs[0][i]);
+    }
+  }
+}
+
+TEST(ReclaimEngine, MemoHitIsBitIdenticalToFreshSolve) {
+  const auto instances = mixed_instances(37);
+  const rm::EnergyModel model = rm::ContinuousModel{2.0};
+  re::EngineOptions engine_options;
+  engine_options.threads = 2;
+  re::ReclaimEngine engine(engine_options);
+
+  const auto fresh = engine.solve_batch(instances, model);
+  const auto first = engine.stats();
+  EXPECT_EQ(first.fresh_solves, instances.size());
+  EXPECT_EQ(first.memo_hits, 0u);
+
+  const auto memoized = engine.solve_batch(instances, model);
+  const auto second = engine.stats();
+  EXPECT_EQ(second.fresh_solves, instances.size());  // nothing re-solved
+  EXPECT_EQ(second.memo_hits, instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    expect_identical(memoized[i], fresh[i]);
+  }
+}
+
+TEST(ReclaimEngine, DispatchCacheReusesShapes) {
+  // Same topology, different weights/deadlines: the memo cannot help, the
+  // shape cache must.
+  reclaim::util::Rng rng(41);
+  std::vector<rc::Instance> instances;
+  for (int k = 0; k < 8; ++k) {
+    auto g = rg::make_stencil(3, 3, rng);  // same 3x3 wavefront topology
+    const double d_min = rc::min_deadline(g, 1.0);
+    instances.push_back(rc::make_instance(std::move(g), (1.2 + 0.1 * k) * d_min));
+  }
+  re::EngineOptions engine_options;
+  engine_options.threads = 1;
+  re::ReclaimEngine engine(engine_options);
+  const auto batch = engine.solve_batch(instances, rm::ContinuousModel{2.0});
+  for (const auto& s : batch) EXPECT_TRUE(s.feasible);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.fresh_solves, instances.size());
+  EXPECT_EQ(stats.shape_hits, instances.size() - 1);  // classified once
+}
+
+TEST(ReclaimEngine, ChainDpRoutesLargeDiscreteChains) {
+  reclaim::util::Rng rng(43);
+  auto g = rg::make_chain(40, rng);
+  const double d_min = rc::min_deadline(g, 2.0);
+  const auto instance = rc::make_instance(std::move(g), 1.4 * d_min);
+  re::ReclaimEngine engine(re::EngineOptions{.threads = 1});
+  const auto s =
+      engine.solve_one(instance, rm::DiscreteModel{rm::ModeSet({0.5, 1.0, 2.0})});
+  EXPECT_TRUE(s.feasible);
+  EXPECT_EQ(s.method, "chain-dp");
+}
+
+TEST(ReclaimEngine, MemoCapacityBoundsTheCache) {
+  const auto instances = mixed_instances(47, 1);  // 5 distinct instances
+  re::EngineOptions engine_options;
+  engine_options.threads = 1;
+  engine_options.memo_capacity = 2;
+  re::ReclaimEngine engine(engine_options);
+
+  const auto first = engine.solve_batch(instances, rm::ContinuousModel{2.0});
+  const auto second = engine.solve_batch(instances, rm::ContinuousModel{2.0});
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.memo_hits, 2u);  // only the capped entries are served
+  EXPECT_EQ(stats.fresh_solves, 2 * instances.size() - 2);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    expect_identical(second[i], first[i]);  // overflow changes cost, not answers
+  }
+}
+
+TEST(ReclaimEngine, PoisonedInstanceAbortsBatchWithException) {
+  auto instances = mixed_instances(53);
+  rc::Instance poisoned;  // bypass make_instance's validation on purpose
+  poisoned.exec_graph = rg::make_chain({1.0, 2.0});
+  poisoned.deadline = -1.0;
+  instances.insert(instances.begin() + instances.size() / 2, poisoned);
+
+  for (std::size_t threads : {1, 4}) {
+    re::EngineOptions engine_options;
+    engine_options.threads = threads;
+    re::ReclaimEngine engine(engine_options);
+    EXPECT_THROW(
+        { auto result = engine.solve_batch(instances, rm::ContinuousModel{2.0}); },
+        reclaim::InvalidArgument);
+  }
+}
+
+TEST(ReclaimEngine, EmptyBatchAndClearCaches) {
+  re::ReclaimEngine engine;
+  const auto empty =
+      engine.solve_batch(std::span<const rc::Instance>{}, rm::ContinuousModel{2.0});
+  EXPECT_TRUE(empty.empty());
+
+  const auto instances = mixed_instances(61, 1);
+  (void)engine.solve_batch(instances, rm::ContinuousModel{2.0});
+  EXPECT_GT(engine.stats().fresh_solves, 0u);
+  engine.clear_caches();
+  EXPECT_EQ(engine.stats().fresh_solves, 0u);
+  EXPECT_EQ(engine.stats().memo_hits, 0u);
+
+  // Cleared caches must not change answers.
+  const auto again = engine.solve_batch(instances, rm::ContinuousModel{2.0});
+  ASSERT_EQ(again.size(), instances.size());
+  for (const auto& s : again) EXPECT_TRUE(s.feasible);
+}

@@ -81,7 +81,7 @@ TEST(Failure, AllZeroWeightGraphEveryModel) {
   g.add_edge(2, 3);
   auto instance = rc::make_instance(g, 1.0);
   const rm::ModeSet modes({1.0, 2.0});
-  for (const rm::EnergyModel model :
+  for (const rm::EnergyModel& model :
        {rm::EnergyModel{rm::ContinuousModel{2.0}},
         rm::EnergyModel{rm::VddHoppingModel{modes}},
         rm::EnergyModel{rm::DiscreteModel{modes}}}) {
@@ -122,8 +122,9 @@ TEST(Failure, ExtremeWeightScales) {
   const auto numeric = rc::solve_continuous(instance, rm::ContinuousModel{2.0}, force);
   const auto closed = rc::solve_fork(instance, rm::ContinuousModel{2.0});
   ASSERT_EQ(numeric.feasible, closed.feasible);
-  if (closed.feasible)
+  if (closed.feasible) {
     EXPECT_NEAR(numeric.energy, closed.energy, 1e-4 * closed.energy);
+  }
 }
 
 TEST(Failure, TinyWeightScales) {
@@ -135,8 +136,9 @@ TEST(Failure, TinyWeightScales) {
       rc::solve_continuous(instance, rm::ContinuousModel{2.0}, force);
   const auto closed = rc::solve_fork(instance, rm::ContinuousModel{2.0});
   ASSERT_EQ(numeric.feasible, closed.feasible);
-  if (closed.feasible)
+  if (closed.feasible) {
     EXPECT_NEAR(numeric.energy, closed.energy, 1e-4 * closed.energy);
+  }
 }
 
 TEST(Failure, NumericSolverInvalidSpeedRange) {

@@ -134,8 +134,11 @@ TEST(Pipeline, SingleProcessorChainBehavesLikeChain) {
   const auto cont = rc::solve_continuous(instance, rm::ContinuousModel{2.0});
   ASSERT_TRUE(cont.feasible);
   // On one processor the optimum runs everything at total/D = 1.
-  for (rg::NodeId v = 0; v < exec.num_nodes(); ++v)
-    if (exec.weight(v) > 0.0) EXPECT_NEAR(cont.speeds[v], 1.0, 1e-5);
+  for (rg::NodeId v = 0; v < exec.num_nodes(); ++v) {
+    if (exec.weight(v) > 0.0) {
+      EXPECT_NEAR(cont.speeds[v], 1.0, 1e-5);
+    }
+  }
   EXPECT_NEAR(cont.energy, total, 1e-4 * total);
 }
 

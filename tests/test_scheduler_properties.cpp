@@ -141,7 +141,9 @@ TEST(ClosureReduction, ClosureIsTransitive) {
   for (rg::NodeId a = 0; a < n; ++a)
     for (rg::NodeId b = 0; b < n; ++b)
       for (rg::NodeId c = 0; c < n; ++c)
-        if (closure[a][b] && closure[b][c]) EXPECT_TRUE(closure[a][c]);
+        if (closure[a][b] && closure[b][c]) {
+          EXPECT_TRUE(closure[a][c]);
+        }
 }
 
 TEST(ExecutionGraphProperties, MoreProcessorsNeverLengthenCriticalPath) {

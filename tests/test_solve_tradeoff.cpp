@@ -91,8 +91,9 @@ TEST(PathStretch, CriticalTasksRunAtUniformSpeed) {
   const double uniform_speed = rc::critical_weight(g) / d;
   const auto cp = rg::critical_path(g);
   for (rg::NodeId v : cp.nodes) {
-    if (g.weight(v) > 0.0)
+    if (g.weight(v) > 0.0) {
       EXPECT_NEAR(stretch.speeds[v], uniform_speed, 1e-9);
+    }
   }
 }
 

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Builds Release and records the perf trajectory: every bench binary runs
+# once and its wall time (plus the raw output) lands in BENCH_<name>.json,
+# so future PRs can diff instances/second against this one.
+#
+#   tools/run_bench.sh [output-dir]    (default: bench-results)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out_dir="${1:-$repo_root/bench-results}"
+build_dir="$repo_root/build-bench"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j
+
+mkdir -p "$out_dir"
+host="$(uname -srm)"
+stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+for bench in "$build_dir"/bench_e*; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "=== $name"
+  log="$out_dir/$name.log"
+  start=$(date +%s.%N)
+  if "$bench" > "$log" 2>&1; then status=ok; else status=failed; fi
+  end=$(date +%s.%N)
+  seconds=$(echo "$end $start" | awk '{printf "%.3f", $1 - $2}')
+  python3 - "$out_dir/BENCH_$name.json" "$name" "$status" "$seconds" \
+      "$stamp" "$commit" "$host" "$log" <<'EOF'
+import json, sys
+out, name, status, seconds, stamp, commit, host, log = sys.argv[1:]
+payload = {
+    "bench": name,
+    "status": status,
+    "wall_seconds": float(seconds),
+    "timestamp": stamp,
+    "commit": commit,
+    "host": host,
+    "output": open(log, encoding="utf-8", errors="replace").read(),
+}
+json.dump(payload, open(out, "w"), indent=2)
+EOF
+  echo "    $status in ${seconds}s -> BENCH_$name.json"
+done
+
+echo "Results in $out_dir"
