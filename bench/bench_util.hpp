@@ -35,13 +35,17 @@ inline void print_engine_stats(std::ostream& out = std::cout) {
 
 /// List-schedules `app` on `processors` at the fastest admissible speed
 /// and returns the execution-graph instance with deadline slack * D_min.
+/// A positive `p_static` solves under the leakage-aware power model
+/// P(s) = p_static + s^alpha.
 inline core::Instance mapped_instance(const graph::Digraph& app,
                                       std::size_t processors, double s_max,
-                                      double slack, double alpha = 3.0) {
+                                      double slack, double alpha = 3.0,
+                                      double p_static = 0.0) {
   const auto schedule = sched::list_schedule(app, processors, s_max);
   const auto exec = sched::build_execution_graph(app, schedule.mapping);
   const double d_min = core::min_deadline(exec, s_max);
-  return core::make_instance(exec, slack * d_min, alpha);
+  return core::make_instance(exec, slack * d_min,
+                             model::make_power_model(alpha, p_static));
 }
 
 /// Evenly spaced m modes covering [lo, hi].

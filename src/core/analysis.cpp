@@ -16,7 +16,7 @@ double energy_ratio(const Solution& a, const Solution& b) {
 ApproxCertificate certify_round_up(const Solution& rounded,
                                    const Solution& relaxation,
                                    const model::ModeSet& modes,
-                                   const model::PowerLaw& power,
+                                   const model::PowerModel& power,
                                    double continuous_rel_gap) {
   ApproxCertificate cert;
   util::require(rounded.feasible && relaxation.feasible,
@@ -30,14 +30,14 @@ ApproxCertificate certify_round_up(const Solution& rounded,
 }
 
 double incremental_transfer_bound(double delta, double s_min,
-                                  const model::PowerLaw& power) {
+                                  const model::PowerModel& power) {
   util::require(delta > 0.0 && s_min > 0.0,
                 "transfer bound requires positive delta and s_min");
   return std::pow(1.0 + delta / s_min, power.alpha() - 1.0);
 }
 
 double discrete_transfer_bound(const model::ModeSet& modes,
-                               const model::PowerLaw& power) {
+                               const model::PowerModel& power) {
   return std::pow(1.0 + modes.max_gap() / modes.min_speed(),
                   power.alpha() - 1.0);
 }
@@ -66,18 +66,35 @@ double energy_with_switch_cost(const Solution& solution,
          cost_per_switch * static_cast<double>(total_speed_switches(solution));
 }
 
-double deadline_slack(const Instance& instance, const Solution& solution) {
-  util::require(solution.feasible, "deadline_slack requires a feasible solution");
-  std::vector<double> durations;
+namespace {
+
+std::vector<double> solution_durations(const Instance& instance,
+                                       const Solution& solution) {
   if (solution.uses_profiles()) {
+    std::vector<double> durations;
     durations.reserve(solution.profiles.size());
     for (const auto& profile : solution.profiles)
       durations.push_back(profile.total_duration());
-  } else {
-    durations = sched::durations_from_speeds(instance.exec_graph, solution.speeds);
+    return durations;
   }
+  return sched::durations_from_speeds(instance.exec_graph, solution.speeds);
+}
+
+}  // namespace
+
+double deadline_slack(const Instance& instance, const Solution& solution) {
+  util::require(solution.feasible, "deadline_slack requires a feasible solution");
+  const auto durations = solution_durations(instance, solution);
   const auto timing = sched::compute_timing(instance.exec_graph, durations);
   return instance.deadline - timing.makespan;
+}
+
+double busy_time(const Instance& instance, const Solution& solution) {
+  util::require(solution.feasible, "busy_time requires a feasible solution");
+  const auto durations = solution_durations(instance, solution);
+  double total = 0.0;
+  for (double d : durations) total += d;
+  return total;
 }
 
 }  // namespace reclaim::core

@@ -29,29 +29,37 @@ struct ApproxCertificate {
 [[nodiscard]] ApproxCertificate certify_round_up(const Solution& rounded,
                                                  const Solution& relaxation,
                                                  const model::ModeSet& modes,
-                                                 const model::PowerLaw& power,
+                                                 const model::PowerModel& power,
                                                  double continuous_rel_gap);
 
 /// Proposition 1 (first item): the Incremental model approximates the
 /// Continuous model within (1 + delta/s_min)^(alpha-1). Returns the bound.
 [[nodiscard]] double incremental_transfer_bound(double delta, double s_min,
-                                                const model::PowerLaw& power);
+                                                const model::PowerModel& power);
 
 /// Proposition 1 (second item): Discrete within (1 + gap/s_1)^(alpha-1) of
 /// Continuous, gap = max consecutive mode spacing.
 [[nodiscard]] double discrete_transfer_bound(const model::ModeSet& modes,
-                                             const model::PowerLaw& power);
+                                             const model::PowerModel& power);
 
 /// The paper ignores static power ("all processors are up and alive
 /// during the whole execution"): with a fixed deadline and processor
 /// count it adds the same constant to every model. This helper makes that
-/// explicit for the E10 ablation.
+/// explicit for the E10 ablation. Distinct from model::StaticPowerLaw,
+/// which charges leakage only while a task is busy and therefore changes
+/// the optimal speeds (DESIGN.md, "Two leakage semantics").
 [[nodiscard]] double with_static_power(double dynamic_energy, double static_power,
                                        double deadline, std::size_t processors);
 
 /// Deadline slack of a solution: D - makespan (requires feasibility).
 [[nodiscard]] double deadline_slack(const Instance& instance,
                                     const Solution& solution);
+
+/// Total busy time of a feasible solution: the sum of task durations
+/// (profile durations for Vdd). The leakage share of a StaticPowerLaw
+/// solution's energy is p_static * busy_time.
+[[nodiscard]] double busy_time(const Instance& instance,
+                               const Solution& solution);
 
 /// Number of intra-task speed switches of a Vdd solution (segments - 1 per
 /// task, non-profile solutions count zero). The paper's Vdd model treats

@@ -1,6 +1,7 @@
 #include "core/baselines.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "graph/topo.hpp"
 #include "util/error.hpp"
@@ -8,6 +9,35 @@
 namespace reclaim::core {
 
 namespace {
+
+/// Cheapest admissible constant speed >= `needed` under `model`. The
+/// per-unit-weight busy cost is unimodal with minimum at the critical
+/// speed (0 for the pure law): Continuous clamps into [needed, s_max];
+/// mode-based models scan the modes at or above `needed` — s_crit need
+/// not be a mode, and the cheapest feasible mode can sit on either side
+/// of it. nullopt when even the top speed cannot reach `needed`.
+std::optional<double> cheapest_speed_at_least(const Instance& instance,
+                                              const model::EnergyModel& model,
+                                              double needed) {
+  if (std::holds_alternative<model::ContinuousModel>(model)) {
+    const double top = model::max_speed(model);
+    if (needed > top * (1.0 + 1e-12)) return std::nullopt;
+    return std::min(std::max(needed, instance.power.critical_speed()), top);
+  }
+  const auto& modes = model::modes_of(model);
+  const auto first = modes.index_at_or_above(needed);
+  if (!first) return std::nullopt;
+  std::size_t best = *first;
+  double best_cost = instance.power.task_energy(1.0, modes.speed(best));
+  for (std::size_t j = *first + 1; j < modes.size(); ++j) {
+    const double cost = instance.power.task_energy(1.0, modes.speed(j));
+    if (cost < best_cost) {
+      best = j;
+      best_cost = cost;
+    }
+  }
+  return modes.speed(best);
+}
 
 Solution constant_solution(const Instance& instance, double speed,
                            std::string method) {
@@ -39,17 +69,14 @@ Solution solve_no_dvfs(const Instance& instance, const model::EnergyModel& model
 Solution solve_uniform(const Instance& instance, const model::EnergyModel& model) {
   const double required = critical_weight(instance.exec_graph);
   if (required == 0.0) return constant_solution(instance, 0.0, "uniform");
-  const double needed = required / instance.deadline;
-
-  if (std::holds_alternative<model::ContinuousModel>(model)) {
-    const double cap = model::max_speed(model);
-    if (needed > cap * (1.0 + 1e-12)) return infeasible_solution("uniform");
-    return constant_solution(instance, needed, "uniform");
-  }
-  const auto& modes = model::modes_of(model);
-  const auto index = modes.index_at_or_above(needed);
-  if (!index) return infeasible_solution("uniform");
-  return constant_solution(instance, modes.speed(*index), "uniform");
+  // Running faster than the deadline requires only shortens the schedule,
+  // so the baseline may pick the cheapest admissible speed above the
+  // requirement — which under a leakage-aware power model is the one
+  // closest to the critical speed, not the slowest.
+  const auto speed =
+      cheapest_speed_at_least(instance, model, required / instance.deadline);
+  if (!speed) return infeasible_solution("uniform");
+  return constant_solution(instance, *speed, "uniform");
 }
 
 Solution solve_path_stretch(const Instance& instance,
@@ -74,7 +101,6 @@ Solution solve_path_stretch(const Instance& instance,
 
   const auto to = graph::longest_path_to(g);     // includes own weight
   const auto from = graph::longest_path_from(g); // includes own weight
-  const bool continuous = std::holds_alternative<model::ContinuousModel>(model);
 
   s.feasible = true;
   s.speeds.assign(g.num_nodes(), 0.0);
@@ -83,17 +109,13 @@ Solution solve_path_stretch(const Instance& instance,
     const double w = g.weight(v);
     if (w == 0.0) continue;
     const double through = to[v] + from[v] - w;  // heaviest path through v
-    double speed = through / instance.deadline;
-    if (!continuous) {
-      const auto& modes = model::modes_of(model);
-      const auto index = modes.index_at_or_above(speed);
-      if (!index) return infeasible_solution(s.method);
-      speed = modes.speed(*index);
-    } else {
-      speed = std::min(speed, top);
-    }
-    s.speeds[v] = speed;
-    s.energy += instance.power.task_energy(w, speed);
+    // Cheapest speed that keeps v's heaviest path inside the deadline —
+    // leakage-aware, as in solve_uniform.
+    const auto speed =
+        cheapest_speed_at_least(instance, model, through / instance.deadline);
+    if (!speed) return infeasible_solution(s.method);
+    s.speeds[v] = *speed;
+    s.energy += instance.power.task_energy(w, *speed);
   }
   return s;
 }

@@ -1,5 +1,6 @@
 #include "core/continuous/closed_form.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "graph/classify.hpp"
@@ -29,19 +30,24 @@ Solution constant_speed_solution(const Instance& instance, double speed,
 
 }  // namespace
 
-Solution solve_single(const Instance& instance, const model::ContinuousModel& model) {
+Solution solve_single(const Instance& instance, const model::ContinuousModel& model,
+                      double s_min) {
   require(instance.exec_graph.num_nodes() == 1, "solve_single requires one task");
   const double w = instance.exec_graph.weight(0);
-  const double speed = w / instance.deadline;
+  const double speed = std::max(w / instance.deadline, s_min);
   if (speed > model.s_max) return infeasible_solution("closed-form-single");
   return constant_speed_solution(instance, speed, "closed-form-single");
 }
 
-Solution solve_chain(const Instance& instance, const model::ContinuousModel& model) {
+Solution solve_chain(const Instance& instance, const model::ContinuousModel& model,
+                     double s_min) {
   const auto& g = instance.exec_graph;
   require(g.num_nodes() == 1 || graph::is_chain(g),
           "solve_chain requires a chain graph");
-  const double speed = g.total_weight() / instance.deadline;
+  // Clamping the common speed up to the floor stays optimal: serial tasks
+  // share one speed, and the per-task cost is non-increasing down to the
+  // floor (for an s_crit floor, non-increasing down to s_crit).
+  const double speed = std::max(g.total_weight() / instance.deadline, s_min);
   if (speed > model.s_max) return infeasible_solution("closed-form-chain");
   return constant_speed_solution(instance, speed, "closed-form-chain");
 }

@@ -10,6 +10,11 @@
 //   D' = D - w_0/s_max with s_i = w_i / D' (infeasible when any exceeds
 //   s_max — the paper's saturated branch).
 // - Join: the time-reversed fork; identical speeds by symmetry of Eq. (1).
+//
+// Single and chain accept a speed floor `s_min` (clamping the constant
+// speed up is exact for serial graphs — DESIGN.md, "The critical speed
+// and the s_crit reduction"), which is how the dispatcher keeps chains on
+// the closed-form path under leakage-aware power models.
 #pragma once
 
 #include "core/problem.hpp"
@@ -19,11 +24,13 @@ namespace reclaim::core {
 
 /// Requires a single-node graph.
 [[nodiscard]] Solution solve_single(const Instance& instance,
-                                    const model::ContinuousModel& model);
+                                    const model::ContinuousModel& model,
+                                    double s_min = 0.0);
 
 /// Requires a chain (>= 1 node path).
 [[nodiscard]] Solution solve_chain(const Instance& instance,
-                                   const model::ContinuousModel& model);
+                                   const model::ContinuousModel& model,
+                                   double s_min = 0.0);
 
 /// Requires a fork-shaped graph (graph::is_fork).
 [[nodiscard]] Solution solve_fork(const Instance& instance,

@@ -24,10 +24,10 @@ bool respects_floor(const Instance& instance, const Solution& s, double floor) {
 }
 
 Solution numeric(const Instance& instance, const model::ContinuousModel& model,
-                 const ContinuousOptions& options) {
+                 double s_min, const ContinuousOptions& options) {
   NumericOptions numeric_options;
   numeric_options.rel_gap = options.rel_gap;
-  numeric_options.s_min = options.s_min;
+  numeric_options.s_min = s_min;
   return solve_numeric(instance, model, numeric_options);
 }
 
@@ -37,7 +37,14 @@ Solution solve_continuous(const Instance& instance,
                           const model::ContinuousModel& model,
                           const ContinuousOptions& options) {
   const auto& g = instance.exec_graph;
-  if (options.force_numeric) return numeric(instance, model, options);
+  // The s_crit reduction (DESIGN.md): under P = P_stat + s^alpha the
+  // per-task busy cost is convex with minimizer s_crit, so the
+  // leakage-aware problem runs the pure-dynamic machinery with the speed
+  // floor raised to s_crit (capped at s_max: beyond the cap the cheapest
+  // admissible speed is s_max itself).
+  const double floor = std::max(
+      options.s_min, std::min(instance.power.critical_speed(), model.s_max));
+  if (options.force_numeric) return numeric(instance, model, floor, options);
 
   // Classify inline (same order as graph::classify) rather than calling it:
   // classify would run the SP decomposition and discard the tree, and the
@@ -85,11 +92,11 @@ Solution solve_continuous(const Instance& instance,
       s.method = "trivial-empty";
       return s;
     case graph::GraphShape::kSingleTask:
-      s = solve_single(instance, model);
+      s = solve_single(instance, model, floor);
       solved = true;
       break;
     case graph::GraphShape::kChain:
-      s = solve_chain(instance, model);
+      s = solve_chain(instance, model, floor);
       solved = true;
       break;
     case graph::GraphShape::kFork:
@@ -121,10 +128,10 @@ Solution solve_continuous(const Instance& instance,
       break;
   }
 
-  if (solved && s.feasible && !respects_floor(instance, s, options.s_min)) {
-    solved = false;  // Theorem 5's restricted relaxation needs the floor
+  if (solved && s.feasible && !respects_floor(instance, s, floor)) {
+    solved = false;  // the floor (Theorem 5 relaxation or s_crit) binds
   }
-  if (!solved) return numeric(instance, model, options);
+  if (!solved) return numeric(instance, model, floor, options);
   return s;
 }
 

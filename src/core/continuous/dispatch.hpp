@@ -7,7 +7,12 @@
 //   anything else    -> numeric barrier solver (geometric program)
 //
 // An optional speed floor s_min (used by Theorem 5's rounding) routes to
-// the numeric solver whenever the unrestricted optimum violates it.
+// the numeric solver whenever the unrestricted optimum violates it. Under
+// a leakage-aware power model the floor is additionally raised to the
+// critical speed s_crit (the s_crit reduction, DESIGN.md); single-task and
+// chain graphs stay on the closed-form path by clamping their constant
+// speed, every other shape falls back to the numeric solver when the
+// floor binds.
 #pragma once
 
 #include <memory>

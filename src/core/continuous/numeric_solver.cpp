@@ -16,10 +16,13 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// sum w_i^alpha / d_i^(alpha-1) over positive-weight tasks; the duration
-/// of task i lives at variable index n + i.
+/// of task i lives at variable index n + i. Deliberately the *dynamic*
+/// objective even under a leakage-aware power model: leakage enters
+/// through the s_crit speed floor plus energy bookkeeping (the s_crit
+/// reduction, DESIGN.md), keeping all solver families consistent.
 class EnergyObjective final : public opt::ConvexObjective {
  public:
-  EnergyObjective(const graph::Digraph& g, const model::PowerLaw& power)
+  EnergyObjective(const graph::Digraph& g, const model::PowerModel& power)
       : n_(g.num_nodes()), alpha_(power.alpha()) {
     weights_.reserve(n_);
     for (graph::NodeId v = 0; v < n_; ++v) weights_.push_back(g.weight(v));
@@ -237,6 +240,7 @@ Solution solve_numeric(const Instance& instance,
     if (w == 0.0) continue;
     double speed = w / result.x[n + v];
     speed = std::min(speed, cap(v));  // shave barrier slack off the cap
+    if (s_min > 0.0) speed = std::max(speed, s_min);  // ...and off the floor
     s.speeds[v] = speed;
     s.energy += instance.power.task_energy(w, speed);
   }

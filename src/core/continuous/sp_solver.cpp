@@ -12,7 +12,7 @@ namespace {
 /// Bottom-up equivalent weights for every SpTree node.
 std::vector<double> equivalent_weights(const graph::Digraph& g,
                                        const graph::SpTree& tree,
-                                       const model::PowerLaw& power) {
+                                       const model::PowerModel& power) {
   const double alpha = power.alpha();
   std::vector<double> weq(tree.nodes.size(), 0.0);
   // Children always have larger arena indices... not guaranteed; recurse.
@@ -43,7 +43,7 @@ std::vector<double> equivalent_weights(const graph::Digraph& g,
 }  // namespace
 
 double sp_equivalent_weight(const graph::Digraph& g, const graph::SpTree& tree,
-                            const model::PowerLaw& power) {
+                            const model::PowerModel& power) {
   return equivalent_weights(g, tree, power)[tree.root];
 }
 

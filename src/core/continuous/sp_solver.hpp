@@ -20,7 +20,7 @@ namespace reclaim::core {
 /// Equivalent weight of the whole decomposition tree.
 [[nodiscard]] double sp_equivalent_weight(const graph::Digraph& g,
                                           const graph::SpTree& tree,
-                                          const model::PowerLaw& power);
+                                          const model::PowerModel& power);
 
 /// Unconstrained (s_max = +inf) optimum over the SP decomposition `tree`
 /// of the instance's graph. Always feasible. When a finite speed cap must

@@ -20,11 +20,11 @@ constexpr double kDeadlineTol = 1.0 + 1e-9;
 struct Search {
   const graph::Digraph& g;
   const model::ModeSet& modes;
-  const model::PowerLaw& power;
+  const model::PowerModel& power;
   double deadline;
   std::vector<graph::NodeId> order;      ///< topological
   std::vector<double> bottom_level;      ///< heaviest path weight from v
-  std::vector<double> energy_tail;       ///< slowest-mode energy of order[k..)
+  std::vector<double> energy_tail;       ///< cheapest-mode energy of order[k..)
   std::vector<double> completion;        ///< per-task, for the assigned prefix
   std::vector<std::size_t> choice;       ///< mode index per task
   std::vector<std::size_t> best_choice;
@@ -49,7 +49,7 @@ struct Search {
       ready = std::max(ready, completion[p]);
     const double tail_weight = bottom_level[v] - w;
     const double s_fast = modes.max_speed();
-    const double alpha = power.alpha();
+    const double s_crit = power.critical_speed();
 
     // Zero-weight tasks are mode-independent: a single branch.
     const std::size_t mode_count = w == 0.0 ? 1 : modes.size();
@@ -63,12 +63,17 @@ struct Search {
       const double finish = ready + duration;
       // Feasibility: heaviest remaining path at the fastest mode.
       if (finish + tail_weight / s_fast > deadline * kDeadlineTol) continue;
-      const double task_energy =
-          w == 0.0 ? 0.0 : w * std::pow(speed, alpha - 1.0);
+      const double task_energy = power.task_energy(w, speed);
       const double lower_bound =
           partial_energy + task_energy + energy_tail[position + 1];
-      // Energy grows with the mode: a bound hit kills all faster modes too.
-      if (lower_bound >= best_energy) break;
+      if (lower_bound >= best_energy) {
+        // Energy grows with the mode from the critical speed on (s_crit is
+        // 0 for the pure power law), so a bound hit there kills all faster
+        // modes too; below s_crit the cost is still decreasing, so slower
+        // modes being pruned says nothing about faster ones.
+        if (speed >= s_crit) break;
+        continue;
+      }
 
       completion[v] = finish;
       choice[v] = j;
@@ -112,13 +117,18 @@ BranchBoundResult solve_discrete_exact(const Instance& instance,
                 options.max_nodes,
                 false};
 
-  // energy_tail[k] = sum of slowest-mode energies of tasks order[k..).
+  // energy_tail[k] = sum of cheapest-mode energies of tasks order[k..).
+  // For the pure power law the cheapest mode is the slowest; with leakage
+  // it is the mode closest to the critical speed.
   search.energy_tail.assign(g.num_nodes() + 1, 0.0);
-  const double slow_factor =
-      std::pow(modes.min_speed(), instance.power.alpha() - 1.0);
+  double cheapest_factor = kInf;
+  for (std::size_t j = 0; j < modes.size(); ++j) {
+    cheapest_factor =
+        std::min(cheapest_factor, instance.power.task_energy(1.0, modes.speed(j)));
+  }
   for (std::size_t k = g.num_nodes(); k-- > 0;) {
     search.energy_tail[k] =
-        search.energy_tail[k + 1] + g.weight((*order)[k]) * slow_factor;
+        search.energy_tail[k + 1] + g.weight((*order)[k]) * cheapest_factor;
   }
 
   // Warm start with CONT-ROUND.

@@ -15,6 +15,13 @@
 // alpha = 3), gap = max mode spacing for Discrete (Proposition 1), and
 // eps is the relative accuracy of the continuous relaxation (Theorem 5's
 // (1 + 1/K)^2 term, exposed as `continuous_rel_gap`).
+//
+// Leakage-aware power models reuse the same machinery: the continuous
+// relaxation's floor is raised to the critical speed inside
+// solve_continuous (the s_crit reduction), and the per-task rounding
+// factor bound survives because for s >= s_crit the busy cost satisfies
+// cost(s')/cost(s) <= (s'/s)^(alpha-1); the relaxation lower-bounds the
+// discrete optimum exactly where the reduction is exact (DESIGN.md).
 #pragma once
 
 #include "core/problem.hpp"

@@ -6,9 +6,15 @@
 namespace reclaim::core {
 
 Instance make_instance(graph::Digraph exec_graph, double deadline, double alpha) {
+  return make_instance(std::move(exec_graph), deadline,
+                       model::PowerModel(model::PowerLaw(alpha)));
+}
+
+Instance make_instance(graph::Digraph exec_graph, double deadline,
+                       model::PowerModel power) {
   util::require(graph::is_acyclic(exec_graph), "execution graph must be acyclic");
   util::require(deadline > 0.0, "deadline must be positive");
-  return Instance{std::move(exec_graph), deadline, model::PowerLaw(alpha)};
+  return Instance{std::move(exec_graph), deadline, power};
 }
 
 Solution infeasible_solution(std::string method) {

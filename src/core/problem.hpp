@@ -7,23 +7,30 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
-#include "model/power.hpp"
+#include "model/power_model.hpp"
 #include "sched/schedule.hpp"
 
 namespace reclaim::core {
 
 /// An instance of MinEnergy(G, D): the *execution* graph (original
 /// precedence edges plus same-processor chaining edges, see
-/// sched::build_execution_graph), the deadline, and the power law.
+/// sched::build_execution_graph), the deadline, and the power model
+/// (pure s^alpha or leakage-aware P_stat + s^alpha).
 struct Instance {
   graph::Digraph exec_graph;
   double deadline = 0.0;
-  model::PowerLaw power{3.0};
+  model::PowerModel power{};
 };
 
-/// Builds an instance, validating the graph (acyclic) and deadline (> 0).
+/// Builds an instance, validating the graph (acyclic) and deadline (> 0),
+/// under the pure power law s^alpha.
 [[nodiscard]] Instance make_instance(graph::Digraph exec_graph, double deadline,
                                      double alpha = 3.0);
+
+/// Same, under an explicit power model (e.g. model::StaticPowerLaw for
+/// leakage-aware solving).
+[[nodiscard]] Instance make_instance(graph::Digraph exec_graph, double deadline,
+                                     model::PowerModel power);
 
 /// A solution of MinEnergy. Constant-speed models fill `speeds` (entry 0
 /// for zero-weight tasks); Vdd-Hopping fills `profiles`. `method` records

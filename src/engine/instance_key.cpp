@@ -25,6 +25,15 @@ void put_modes(std::string& out, const model::ModeSet& modes) {
   for (double s : modes.speeds()) put_double(out, s);
 }
 
+// Every field that determines the power model's math goes into the key:
+// kind tag, exponent, and static power. Hashing alpha alone would alias
+// two models that differ only in p_static onto one memo entry.
+void put_power(std::string& out, const model::PowerModel& power) {
+  out.push_back(power.kind() == model::PowerModel::Kind::kPowerLaw ? 'p' : 's');
+  put_double(out, power.alpha());
+  put_double(out, power.p_static());
+}
+
 void put_topology(std::string& out, const graph::Digraph& g) {
   put_u64(out, g.num_nodes());
   put_u64(out, g.num_edges());
@@ -76,7 +85,7 @@ std::string instance_key(const core::Instance& instance,
   put_topology(key, g);
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) put_double(key, g.weight(v));
   put_double(key, instance.deadline);
-  put_double(key, instance.power.alpha());
+  put_power(key, instance.power);
   put_model(key, model);
   put_u64(key, options.exact_discrete_up_to);
   put_double(key, options.rel_gap);

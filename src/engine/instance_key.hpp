@@ -5,7 +5,8 @@
 //     exactly when their execution graphs have identical node ids and
 //     edges, which is what the per-structure dispatch cache needs (the
 //     classification ignores weights, deadlines and models).
-//   - instance_key: topology + weights + deadline + power law + energy
+//   - instance_key: topology + weights + deadline + the full power model
+//     (kind, alpha, p_static — see DESIGN.md, "Memo-key fields") + energy
 //     model + the solver options that affect the answer. Two instances
 //     share it exactly when a deterministic solver must return the same
 //     Solution, which is what the solution memo needs.

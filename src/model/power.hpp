@@ -5,7 +5,10 @@
 //
 // Everything downstream is parameterized by alpha > 1 so the library also
 // covers the alpha in (1, 3] range used elsewhere in the speed-scaling
-// literature (e.g. Bansal-Kimbrel-Pruhs).
+// literature (e.g. Bansal-Kimbrel-Pruhs). PowerLaw is the pure-dynamic
+// member of the pluggable power-model layer; see model/power_model.hpp for
+// the leakage-aware StaticPowerLaw and the PowerModel wrapper the solvers
+// consume.
 #pragma once
 
 namespace reclaim::model {
@@ -32,8 +35,9 @@ class PowerLaw {
   [[nodiscard]] double window_energy(double weight, double window) const;
 
   /// Equivalent weight of parallel composition: the l_alpha norm
-  /// (w1^alpha + w2^alpha)^(1/alpha); see DESIGN.md. Series composition is
-  /// plain addition and needs no helper.
+  /// (w1^alpha + w2^alpha)^(1/alpha); see DESIGN.md, "Parallel
+  /// composition". Series composition is plain addition and needs no
+  /// helper.
   [[nodiscard]] double parallel_compose(double w1, double w2) const;
 
  private:

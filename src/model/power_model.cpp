@@ -1,0 +1,115 @@
+#include "model/power_model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace reclaim::model {
+
+namespace {
+
+double compute_critical_speed(double alpha, double p_static) {
+  if (p_static == 0.0) return 0.0;
+  return std::pow(p_static / (alpha - 1.0), 1.0 / alpha);
+}
+
+// Shared implementations. With p_static == 0 every formula reduces
+// bit-identically to the PowerLaw one (x + 0.0 == x and 0.0/s == 0.0 in
+// IEEE arithmetic), which the P_stat = 0 regression tests rely on.
+
+double power_impl(double alpha, double p_static, double speed) {
+  util::require(speed >= 0.0, "speed must be non-negative");
+  return std::pow(speed, alpha) + p_static;
+}
+
+double energy_impl(double alpha, double p_static, double speed, double duration) {
+  util::require(duration >= 0.0, "duration must be non-negative");
+  return power_impl(alpha, p_static, speed) * duration;
+}
+
+double task_energy_impl(double alpha, double p_static, double weight,
+                        double speed) {
+  util::require(weight >= 0.0, "weight must be non-negative");
+  if (weight == 0.0) return 0.0;
+  util::require(speed > 0.0, "positive-weight task requires positive speed");
+  return weight * (p_static / speed + std::pow(speed, alpha - 1.0));
+}
+
+double window_energy_impl(double alpha, double p_static, double weight,
+                          double window) {
+  util::require(weight >= 0.0, "weight must be non-negative");
+  if (weight == 0.0) return 0.0;
+  util::require(window > 0.0, "positive-weight task requires a positive window");
+  return std::pow(weight, alpha) / std::pow(window, alpha - 1.0) +
+         p_static * window;
+}
+
+}  // namespace
+
+StaticPowerLaw::StaticPowerLaw(double alpha, double p_static)
+    : alpha_(alpha),
+      p_static_(p_static),
+      s_crit_(compute_critical_speed(alpha, p_static)) {
+  util::require(alpha > 1.0, "power exponent alpha must exceed 1");
+  util::require(p_static >= 0.0, "static power must be non-negative");
+}
+
+double StaticPowerLaw::power(double speed) const {
+  return power_impl(alpha_, p_static_, speed);
+}
+
+double StaticPowerLaw::energy(double speed, double duration) const {
+  return energy_impl(alpha_, p_static_, speed, duration);
+}
+
+double StaticPowerLaw::task_energy(double weight, double speed) const {
+  return task_energy_impl(alpha_, p_static_, weight, speed);
+}
+
+double StaticPowerLaw::window_energy(double weight, double window) const {
+  return window_energy_impl(alpha_, p_static_, weight, window);
+}
+
+PowerModel::PowerModel(const PowerLaw& law)
+    : kind_(Kind::kPowerLaw), alpha_(law.alpha()), p_static_(0.0), s_crit_(0.0) {}
+
+PowerModel::PowerModel(const StaticPowerLaw& law)
+    : kind_(Kind::kStaticPowerLaw),
+      alpha_(law.alpha()),
+      p_static_(law.p_static()),
+      s_crit_(law.critical_speed()) {}
+
+double PowerModel::power(double speed) const {
+  return power_impl(alpha_, p_static_, speed);
+}
+
+double PowerModel::energy(double speed, double duration) const {
+  return energy_impl(alpha_, p_static_, speed, duration);
+}
+
+double PowerModel::task_energy(double weight, double speed) const {
+  return task_energy_impl(alpha_, p_static_, weight, speed);
+}
+
+double PowerModel::window_energy(double weight, double window) const {
+  return window_energy_impl(alpha_, p_static_, weight, window);
+}
+
+double PowerModel::parallel_compose(double w1, double w2) const {
+  return dynamic_law().parallel_compose(w1, w2);
+}
+
+std::string PowerModel::name() const {
+  std::ostringstream out;
+  if (has_static_power()) out << p_static_ << " + ";
+  out << "s^" << alpha_;
+  return out.str();
+}
+
+PowerModel make_power_model(double alpha, double p_static) {
+  if (p_static == 0.0) return PowerModel(PowerLaw(alpha));
+  return PowerModel(StaticPowerLaw(alpha, p_static));
+}
+
+}  // namespace reclaim::model

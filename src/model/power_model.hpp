@@ -1,0 +1,123 @@
+// The pluggable power-model layer: every solver is parameterized by a
+// value-semantic PowerModel instead of the concrete pure power law, so the
+// library covers both power models of the literature:
+//
+//   - PowerLaw          P(s) = s^alpha            (the SPAA'11 paper)
+//   - StaticPowerLaw    P(s) = P_stat + s^alpha   (the journal version and
+//                       the wider speed-scaling literature, where leakage
+//                       is the practically dominant term)
+//
+// Leakage is charged while a task is busy: executing weight w at constant
+// speed s costs w * (P_stat/s + s^(alpha-1)). That per-task cost is convex
+// with minimizer s_crit = (P_stat/(alpha-1))^(1/alpha) — below the
+// critical speed, running slower wastes more leakage than it saves in
+// dynamic energy. The solvers exploit this via the s_crit reduction; see
+// DESIGN.md ("The critical speed and the s_crit reduction") for the math
+// and the exactness conditions.
+#pragma once
+
+#include <string>
+
+#include "model/power.hpp"
+
+namespace reclaim::model {
+
+/// Leakage-aware power law: a busy processor at speed s dissipates
+/// P_stat + s^alpha watts. With p_static == 0 every quantity degenerates
+/// bit-identically to PowerLaw.
+class StaticPowerLaw {
+ public:
+  /// alpha must be > 1, p_static must be >= 0.
+  explicit StaticPowerLaw(double alpha = 3.0, double p_static = 0.0);
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] double p_static() const noexcept { return p_static_; }
+
+  /// The critical speed (P_stat/(alpha-1))^(1/alpha): the unique minimizer
+  /// of the per-unit-weight busy cost P_stat/s + s^(alpha-1). Zero when
+  /// p_static == 0.
+  [[nodiscard]] double critical_speed() const noexcept { return s_crit_; }
+
+  /// Instantaneous busy power at speed s: P_stat + s^alpha.
+  [[nodiscard]] double power(double speed) const;
+
+  /// Energy of staying busy at speed s for duration d.
+  [[nodiscard]] double energy(double speed, double duration) const;
+
+  /// Energy of executing weight w at constant speed s:
+  /// w * (P_stat/s + s^(alpha-1)). Zero-weight tasks cost nothing.
+  [[nodiscard]] double task_energy(double weight, double speed) const;
+
+  /// Energy of executing weight w inside a window of length d at the
+  /// constant speed w/d: w^alpha/d^(alpha-1) + P_stat * d.
+  [[nodiscard]] double window_energy(double weight, double window) const;
+
+ private:
+  double alpha_;
+  double p_static_;
+  double s_crit_;
+};
+
+/// Value-semantic union of the two concrete power models. Cheap to copy
+/// and to encode into cache keys (kind + alpha + p_static determine every
+/// derived quantity); the engine memo must hash all three fields — see
+/// DESIGN.md ("Memo-key fields").
+class PowerModel {
+ public:
+  enum class Kind { kPowerLaw, kStaticPowerLaw };
+
+  PowerModel() : PowerModel(PowerLaw(3.0)) {}
+  // Implicit by design: every pre-leakage call site that passed a PowerLaw
+  // (or an alpha-constructed instance) migrates without edits.
+  PowerModel(const PowerLaw& law);              // NOLINT(google-explicit-constructor)
+  PowerModel(const StaticPowerLaw& law);        // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  /// Static (leakage) power; 0 for the pure power law.
+  [[nodiscard]] double p_static() const noexcept { return p_static_; }
+  [[nodiscard]] bool has_static_power() const noexcept { return p_static_ > 0.0; }
+  /// (P_stat/(alpha-1))^(1/alpha); 0 for the pure power law, so it is
+  /// always a valid speed floor.
+  [[nodiscard]] double critical_speed() const noexcept { return s_crit_; }
+
+  /// Instantaneous busy power at speed s: P_stat + s^alpha.
+  [[nodiscard]] double power(double speed) const;
+
+  /// Energy of staying busy at speed s for duration d.
+  [[nodiscard]] double energy(double speed, double duration) const;
+
+  /// Energy of executing weight w at constant speed s:
+  /// w * (P_stat/s + s^(alpha-1)). Zero-weight tasks cost nothing.
+  [[nodiscard]] double task_energy(double weight, double speed) const;
+
+  /// Energy of executing weight w inside a window of length d:
+  /// w^alpha/d^(alpha-1) + P_stat * d. Requires d > 0 unless w == 0.
+  [[nodiscard]] double window_energy(double weight, double window) const;
+
+  /// Equivalent weight of parallel composition, the l_alpha norm
+  /// (w1^alpha + w2^alpha)^(1/alpha) — a property of the dynamic exponent
+  /// alone, shared by both models (DESIGN.md, "Parallel composition").
+  [[nodiscard]] double parallel_compose(double w1, double w2) const;
+
+  /// The pure-dynamic law with the same exponent — the machinery the
+  /// s_crit reduction runs (DESIGN.md).
+  [[nodiscard]] PowerLaw dynamic_law() const { return PowerLaw(alpha_); }
+
+  /// Human-readable form: "s^3" or "0.5 + s^3".
+  [[nodiscard]] std::string name() const;
+
+  friend bool operator==(const PowerModel&, const PowerModel&) = default;
+
+ private:
+  Kind kind_;
+  double alpha_;
+  double p_static_;
+  double s_crit_;
+};
+
+/// PowerLaw(alpha) when p_static == 0, StaticPowerLaw(alpha, p_static)
+/// otherwise — the CLI's and benches' one-liner.
+[[nodiscard]] PowerModel make_power_model(double alpha, double p_static);
+
+}  // namespace reclaim::model

@@ -41,6 +41,7 @@
 #include "graph/topo.hpp"
 #include "model/energy_model.hpp"
 #include "model/power.hpp"
+#include "model/power_model.hpp"
 #include "model/speed_set.hpp"
 #include "sched/execution_graph.hpp"
 #include "sched/list_scheduler.hpp"

@@ -22,7 +22,7 @@ double SpeedProfile::work() const noexcept {
   return w;
 }
 
-double SpeedProfile::energy(const model::PowerLaw& power) const {
+double SpeedProfile::energy(const model::PowerModel& power) const {
   double e = 0.0;
   for (const Segment& s : segments) e += power.energy(s.speed, s.duration);
   return e;
@@ -63,7 +63,7 @@ Timing compute_timing(const graph::Digraph& exec_graph,
 }
 
 double total_energy(const graph::Digraph& g, const std::vector<double>& speeds,
-                    const model::PowerLaw& power) {
+                    const model::PowerModel& power) {
   require(speeds.size() == g.num_nodes(), "one speed per task required");
   double e = 0.0;
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v)
@@ -72,7 +72,7 @@ double total_energy(const graph::Digraph& g, const std::vector<double>& speeds,
 }
 
 double total_energy(const std::vector<SpeedProfile>& profiles,
-                    const model::PowerLaw& power) {
+                    const model::PowerModel& power) {
   double e = 0.0;
   for (const SpeedProfile& p : profiles) e += p.energy(power);
   return e;

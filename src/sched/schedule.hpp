@@ -8,7 +8,7 @@
 
 #include "graph/digraph.hpp"
 #include "model/energy_model.hpp"
-#include "model/power.hpp"
+#include "model/power_model.hpp"
 
 namespace reclaim::sched {
 
@@ -25,7 +25,7 @@ struct SpeedProfile {
   [[nodiscard]] double total_duration() const noexcept;
   /// Work processed: sum of speed * duration over segments.
   [[nodiscard]] double work() const noexcept;
-  [[nodiscard]] double energy(const model::PowerLaw& power) const;
+  [[nodiscard]] double energy(const model::PowerModel& power) const;
 };
 
 struct Timing {
@@ -43,14 +43,15 @@ struct Timing {
 [[nodiscard]] Timing compute_timing(const graph::Digraph& exec_graph,
                                     const std::vector<double>& durations);
 
-/// Total dynamic energy of constant-speed execution.
+/// Total busy energy of constant-speed execution under `power` (dynamic
+/// plus, for a leakage-aware model, P_stat per busy second).
 [[nodiscard]] double total_energy(const graph::Digraph& g,
                                   const std::vector<double>& speeds,
-                                  const model::PowerLaw& power);
+                                  const model::PowerModel& power);
 
-/// Total dynamic energy of profile-based (Vdd) execution.
+/// Total busy energy of profile-based (Vdd) execution.
 [[nodiscard]] double total_energy(const std::vector<SpeedProfile>& profiles,
-                                  const model::PowerLaw& power);
+                                  const model::PowerModel& power);
 
 /// True when the earliest-start makespan meets the deadline within
 /// relative tolerance.

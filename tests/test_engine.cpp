@@ -81,6 +81,47 @@ TEST(InstanceKey, DistinguishesWeightsDeadlinesAndModels) {
   EXPECT_NE(re::instance_key(i1, cont, opts), re::instance_key(i1, disc, opts));
 }
 
+TEST(InstanceKey, DistinguishesEveryPowerModelField) {
+  // Regression for the aliasing risk class: the key must encode the full
+  // power model (kind, alpha, p_static), not just alpha — otherwise two
+  // instances differing only in p_static would share a memo entry.
+  const auto g = rg::make_chain({1.0, 2.0, 3.0});
+  const auto pure = rc::make_instance(g, 10.0, 3.0);
+  const auto zero = rc::make_instance(g, 10.0, rm::StaticPowerLaw(3.0, 0.0));
+  const auto half = rc::make_instance(g, 10.0, rm::StaticPowerLaw(3.0, 0.5));
+  const auto one = rc::make_instance(g, 10.0, rm::StaticPowerLaw(3.0, 1.0));
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  const rc::SolveOptions opts;
+
+  EXPECT_NE(re::instance_key(pure, cont, opts), re::instance_key(half, cont, opts));
+  EXPECT_NE(re::instance_key(half, cont, opts), re::instance_key(one, cont, opts));
+  // Same math, different kind: still distinct (conservative, never aliases).
+  EXPECT_NE(re::instance_key(pure, cont, opts), re::instance_key(zero, cont, opts));
+}
+
+TEST(ReclaimEngine, MemoDistinguishesPowerModels) {
+  // End-to-end: identical graph/deadline/energy-model, different p_static
+  // must be fresh solves with different optima, never memo hits.
+  const auto g = rg::make_chain({2.0, 2.0});  // W = 4
+  re::EngineOptions engine_options;
+  engine_options.threads = 1;
+  re::ReclaimEngine engine(engine_options);
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+
+  const auto pure =
+      engine.solve_one(rc::make_instance(g, 8.0, 3.0), cont);
+  const auto leaky = engine.solve_one(
+      rc::make_instance(g, 8.0, rm::StaticPowerLaw(3.0, 2.0)), cont);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.fresh_solves, 2u);
+  EXPECT_EQ(stats.memo_hits, 0u);
+  ASSERT_TRUE(pure.feasible);
+  ASSERT_TRUE(leaky.feasible);
+  // Pure: speed 0.5, E = 4 * 0.25 = 1. Leaky: s_crit = 1, E = 4 * 3 = 12.
+  EXPECT_DOUBLE_EQ(pure.energy, 1.0);
+  EXPECT_DOUBLE_EQ(leaky.energy, 12.0);
+}
+
 TEST(ReclaimEngine, MatchesSingleShotSolve) {
   const auto instances = mixed_instances(11);
   re::EngineOptions engine_options;

@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Builds Release and records the perf trajectory: every bench binary runs
-# once and its wall time (plus the raw output) lands in BENCH_<name>.json,
-# so future PRs can diff instances/second against this one.
+# Builds Release and records the perf trajectory: every selected bench
+# binary runs once and its wall time (plus the raw output) lands in
+# BENCH_<name>.json, so future PRs can diff instances/second against this
+# one.
 #
-#   tools/run_bench.sh [output-dir]    (default: bench-results)
+#   tools/run_bench.sh [output-dir] [bench-glob]
+#
+# output-dir defaults to bench-results; bench-glob defaults to bench_e*
+# (CI records only the fast baselines with 'bench_e1[23]_*'). Set
+# RECLAIM_BENCH_BUILD_DIR to reuse an existing Release build tree instead
+# of configuring build-bench from scratch.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 out_dir="${1:-$repo_root/bench-results}"
-build_dir="$repo_root/build-bench"
+pattern="${2:-bench_e*}"
+build_dir="${RECLAIM_BENCH_BUILD_DIR:-$repo_root/build-bench}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j
@@ -17,14 +24,15 @@ mkdir -p "$out_dir"
 host="$(uname -srm)"
 stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+failures=0
 
-for bench in "$build_dir"/bench_e*; do
+for bench in "$build_dir"/$pattern; do
   [ -x "$bench" ] || continue
   name="$(basename "$bench")"
   echo "=== $name"
   log="$out_dir/$name.log"
   start=$(date +%s.%N)
-  if "$bench" > "$log" 2>&1; then status=ok; else status=failed; fi
+  if "$bench" > "$log" 2>&1; then status=ok; else status=failed; failures=$((failures + 1)); fi
   end=$(date +%s.%N)
   seconds=$(echo "$end $start" | awk '{printf "%.3f", $1 - $2}')
   python3 - "$out_dir/BENCH_$name.json" "$name" "$status" "$seconds" \
@@ -46,3 +54,9 @@ EOF
 done
 
 echo "Results in $out_dir"
+# A crashed bench still gets its JSON recorded above, but the run as a
+# whole must fail so CI goes red instead of shipping a broken baseline.
+if [ "$failures" -gt 0 ]; then
+  echo "error: $failures bench(es) failed" >&2
+  exit 1
+fi
