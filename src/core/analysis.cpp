@@ -97,4 +97,24 @@ double busy_time(const Instance& instance, const Solution& solution) {
   return total;
 }
 
+PlatformEnergy platform_energy(const Instance& instance,
+                               const Solution& solution,
+                               const sched::Mapping& mapping, double window) {
+  util::require(solution.feasible,
+                "platform_energy requires a feasible solution");
+  if (window <= 0.0) window = instance.deadline;
+  PlatformEnergy split;
+  split.busy = solution.energy;
+  split.idle =
+      sched::idle_energy(instance.exec_graph, mapping,
+                         solution_durations(instance, solution), window,
+                         instance.power);
+  return split;
+}
+
+double idle_energy(const Instance& instance, const Solution& solution,
+                   const sched::Mapping& mapping, double window) {
+  return platform_energy(instance, solution, mapping, window).idle;
+}
+
 }  // namespace reclaim::core

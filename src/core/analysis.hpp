@@ -9,6 +9,7 @@
 #include "core/problem.hpp"
 #include "model/energy_model.hpp"
 #include "model/speed_set.hpp"
+#include "sched/mapping.hpp"
 
 namespace reclaim::core {
 
@@ -60,6 +61,34 @@ struct ApproxCertificate {
 /// solution's energy is p_static * busy_time.
 [[nodiscard]] double busy_time(const Instance& instance,
                                const Solution& solution);
+
+/// Whole-platform energy split of a feasible solution over the window
+/// [0, window]: `busy` is the solution's per-task energy (what every
+/// solver reports), `idle` the idle-interval charges under the instance's
+/// sleep spec (DESIGN.md, "Power-down / sleep states").
+struct PlatformEnergy {
+  double busy = 0.0;
+  double idle = 0.0;
+
+  [[nodiscard]] double total() const noexcept { return busy + idle; }
+};
+
+/// Busy + idle energy of `solution` under `mapping`. The window defaults
+/// (window <= 0) to the instance deadline: the platform is committed for
+/// the whole deadline window, and each processor idles or sleeps outside
+/// its busy intervals. With an all-zero sleep spec `idle` is exactly 0.0
+/// and `total()` equals `solution.energy` bit-identically. Requires a
+/// feasible solution.
+[[nodiscard]] PlatformEnergy platform_energy(const Instance& instance,
+                                             const Solution& solution,
+                                             const sched::Mapping& mapping,
+                                             double window = 0.0);
+
+/// The idle component alone — platform_energy().idle.
+[[nodiscard]] double idle_energy(const Instance& instance,
+                                 const Solution& solution,
+                                 const sched::Mapping& mapping,
+                                 double window = 0.0);
 
 /// Number of intra-task speed switches of a Vdd solution (segments - 1 per
 /// task, non-profile solutions count zero). The paper's Vdd model treats

@@ -21,7 +21,7 @@ std::optional<double> cheapest_speed_at_least(const Instance& instance,
                                               double needed) {
   if (std::holds_alternative<model::ContinuousModel>(model)) {
     const double top = model::max_speed(model);
-    if (needed > top * (1.0 + 1e-12)) return std::nullopt;
+    if (!within_speed_cap(needed, top)) return std::nullopt;
     return std::min(std::max(needed, instance.power.critical_speed()), top);
   }
   const auto& modes = model::modes_of(model);
@@ -60,7 +60,7 @@ Solution constant_solution(const Instance& instance, double speed,
 Solution solve_no_dvfs(const Instance& instance, const model::EnergyModel& model) {
   const double top = model::max_speed(model);
   const double required = critical_weight(instance.exec_graph);
-  if (required > 0.0 && required / top > instance.deadline * (1.0 + 1e-12))
+  if (required > 0.0 && !within_deadline(required / top, instance.deadline))
     return infeasible_solution("no-dvfs");
   if (required == 0.0) return constant_solution(instance, 0.0, "no-dvfs");
   return constant_solution(instance, top, "no-dvfs");
@@ -96,7 +96,7 @@ Solution solve_path_stretch(const Instance& instance,
     s = constant_solution(instance, 0.0, "path-stretch");
     return s;
   }
-  if (critical / instance.deadline > top * (1.0 + 1e-12))
+  if (!within_speed_cap(critical / instance.deadline, top))
     return infeasible_solution(s.method);
 
   const auto to = graph::longest_path_to(g);     // includes own weight

@@ -34,9 +34,13 @@ Solution solve_single(const Instance& instance, const model::ContinuousModel& mo
                       double s_min) {
   require(instance.exec_graph.num_nodes() == 1, "solve_single requires one task");
   const double w = instance.exec_graph.weight(0);
+  // Deadline-tight instances may compute w/D a few ulps past s_max; accept
+  // within the shared tolerance and clamp to the cap.
   const double speed = std::max(w / instance.deadline, s_min);
-  if (speed > model.s_max) return infeasible_solution("closed-form-single");
-  return constant_speed_solution(instance, speed, "closed-form-single");
+  if (!within_speed_cap(speed, model.s_max))
+    return infeasible_solution("closed-form-single");
+  return constant_speed_solution(instance, std::min(speed, model.s_max),
+                                 "closed-form-single");
 }
 
 Solution solve_chain(const Instance& instance, const model::ContinuousModel& model,
@@ -48,8 +52,10 @@ Solution solve_chain(const Instance& instance, const model::ContinuousModel& mod
   // share one speed, and the per-task cost is non-increasing down to the
   // floor (for an s_crit floor, non-increasing down to s_crit).
   const double speed = std::max(g.total_weight() / instance.deadline, s_min);
-  if (speed > model.s_max) return infeasible_solution("closed-form-chain");
-  return constant_speed_solution(instance, speed, "closed-form-chain");
+  if (!within_speed_cap(speed, model.s_max))
+    return infeasible_solution("closed-form-chain");
+  return constant_speed_solution(instance, std::min(speed, model.s_max),
+                                 "closed-form-chain");
 }
 
 Solution solve_fork(const Instance& instance, const model::ContinuousModel& model) {
@@ -90,7 +96,8 @@ Solution solve_fork(const Instance& instance, const model::ContinuousModel& mode
 
   s.energy = 0.0;
   if (w0 > 0.0) {
-    if (s0 > model.s_max * (1.0 + 1e-12)) return infeasible_solution(s.method);
+    if (!within_speed_cap(s0, model.s_max)) return infeasible_solution(s.method);
+    s0 = std::min(s0, model.s_max);
     s.speeds[root] = s0;
     s.energy += instance.power.task_energy(w0, s0);
   }
@@ -99,9 +106,9 @@ Solution solve_fork(const Instance& instance, const model::ContinuousModel& mode
     const double w = g.weight(v);
     if (w == 0.0) continue;
     const double sv = w / leaf_window;
-    if (sv > model.s_max * (1.0 + 1e-12)) return infeasible_solution(s.method);
-    s.speeds[v] = sv;
-    s.energy += instance.power.task_energy(w, sv);
+    if (!within_speed_cap(sv, model.s_max)) return infeasible_solution(s.method);
+    s.speeds[v] = std::min(sv, model.s_max);
+    s.energy += instance.power.task_energy(w, s.speeds[v]);
   }
   s.feasible = true;
   return s;

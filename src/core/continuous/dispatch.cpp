@@ -121,7 +121,7 @@ Solution solve_continuous(const Instance& instance,
                                ? 0.0
                                : *std::max_element(s.speeds.begin(),
                                                    s.speeds.end());
-        solved = s.feasible && top <= model.s_max * (1.0 + 1e-12);
+        solved = s.feasible && within_speed_cap(top, model.s_max);
       }
       break;
     case graph::GraphShape::kGeneral:

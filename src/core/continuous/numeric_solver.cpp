@@ -133,11 +133,14 @@ Solution solve_numeric(const Instance& instance,
       min_durations[v] = w / cap(v);
     }
   }
+  // One shared tolerance on both sides of the boundary: an exactly-tight
+  // instance whose fastest makespan lands a few ulps past D (the sum
+  // w_i/cap_i rounds differently than the D = W/s_max the caller computed)
+  // is still feasible, pinned at the caps below.
   const double min_makespan =
       sched::compute_timing(g, min_durations).makespan;
-  if (min_makespan > deadline * (1.0 + 1e-12))
-    return infeasible_solution(method);
-  if (min_makespan >= deadline * (1.0 - 1e-9)) {
+  if (!within_deadline(min_makespan, deadline)) return infeasible_solution(method);
+  if (min_makespan >= deadline * (1.0 - kFeasibilityRelTol)) {
     // Boundary: the only candidate pins every task at its cap. With an
     // uncapped weighted task the optimum does not exist (speeds diverge).
     if (any_uncapped_weighted) return infeasible_solution(method);

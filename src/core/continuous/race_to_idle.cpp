@@ -1,0 +1,177 @@
+#include "core/continuous/race_to_idle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sched/schedule.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Busy + idle platform energy of the crawl schedule scaled by k.
+struct Evaluation {
+  double busy = kInf;
+  double idle = kInf;
+
+  [[nodiscard]] double total() const noexcept { return busy + idle; }
+};
+
+Evaluation evaluate_scaled(const Instance& instance,
+                           const sched::Mapping& mapping,
+                           const std::vector<double>& base_speeds, double k,
+                           double s_max, double window) {
+  const auto& g = instance.exec_graph;
+  Evaluation eval;
+  eval.busy = 0.0;
+  std::vector<double> durations(g.num_nodes(), 0.0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double w = g.weight(v);
+    if (w == 0.0) continue;
+    const double speed = std::min(base_speeds[v] * k, s_max);
+    eval.busy += instance.power.task_energy(w, speed);
+    durations[v] = w / speed;
+  }
+  eval.idle =
+      sched::idle_energy(g, mapping, durations, window, instance.power);
+  return eval;
+}
+
+}  // namespace
+
+RaceToIdleResult solve_race_to_idle(const Instance& instance,
+                                    const model::ContinuousModel& model,
+                                    const sched::Mapping& mapping,
+                                    const RaceToIdleOptions& options) {
+  RaceToIdleResult result;
+  result.solution = solve_continuous(instance, model, options.continuous);
+  if (!result.solution.feasible) return result;
+
+  result.crawl.busy = result.solution.energy;
+  result.chosen = result.crawl;
+  if (!instance.power.has_sleep()) {
+    // No idle cost: the crawl is the whole answer, bit-identically.
+    return result;
+  }
+
+  const auto& g = instance.exec_graph;
+  const double window =
+      options.window > 0.0 ? options.window : instance.deadline;
+  const auto eval_at = [&](double k) {
+    return evaluate_scaled(instance, mapping, result.solution.speeds, k,
+                           model.s_max, window);
+  };
+
+  const Evaluation crawl_eval = eval_at(1.0);
+  result.crawl.idle = crawl_eval.idle;
+  result.chosen = result.crawl;
+
+  // Cap the speed-up: never past s_max, and never past the point where the
+  // guaranteed busy increase (the dynamic part alone grows like k^(alpha-1))
+  // already exceeds everything the idle charge could possibly save.
+  double top = 0.0;
+  double dynamic_busy = 0.0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double w = g.weight(v);
+    if (w == 0.0) continue;
+    top = std::max(top, result.solution.speeds[v]);
+    dynamic_busy +=
+        w * std::pow(result.solution.speeds[v], instance.power.alpha() - 1.0);
+  }
+  if (top <= 0.0 || dynamic_busy <= 0.0 || crawl_eval.idle <= 0.0) {
+    return result;  // nothing to run or nothing to save
+  }
+  // Guaranteed net busy increase at factor k is at least
+  // dynamic * (k^(alpha-1) - 1) - static_share (the leakage share can shrink
+  // by at most itself), so past k_worth the race cannot recoup the idle
+  // charge even if it drove it to zero.
+  const double k_cap = model.s_max == kInf ? kInf : model.s_max / top;
+  const double k_worth =
+      std::pow((crawl_eval.busy + crawl_eval.idle) / dynamic_busy,
+               1.0 / (instance.power.alpha() - 1.0));
+  const double k_hi = std::min(k_cap, k_worth);
+  if (!(k_hi > 1.0)) return result;
+
+  // Log-spaced grid over [1, k_hi], then golden-section refinement around
+  // the best bracket. The objective is piecewise smooth (idle/sleep min()
+  // kinks as gaps cross the break-even length), so the grid localizes the
+  // basin and the refinement polishes it; both are deterministic.
+  const std::size_t grid = std::max<std::size_t>(options.grid, 2);
+  const double log_hi = std::log(k_hi);
+  double best_k = 1.0;
+  Evaluation best = crawl_eval;
+  std::size_t best_index = 0;
+  std::size_t evals = 1;
+  for (std::size_t i = 1; i < grid; ++i) {
+    const double k = std::exp(log_hi * static_cast<double>(i) /
+                              static_cast<double>(grid - 1));
+    const Evaluation e = eval_at(k);
+    ++evals;
+    if (e.total() < best.total()) {
+      best = e;
+      best_k = k;
+      best_index = i;
+    }
+  }
+  {
+    const auto grid_k = [&](std::size_t i) {
+      return std::exp(log_hi * static_cast<double>(i) /
+                      static_cast<double>(grid - 1));
+    };
+    double lo = best_index == 0 ? 1.0 : grid_k(best_index - 1);
+    double hi = best_index + 1 < grid ? grid_k(best_index + 1) : k_hi;
+    constexpr double kGolden = 0.6180339887498949;
+    double a = hi - kGolden * (hi - lo);
+    double b = lo + kGolden * (hi - lo);
+    Evaluation fa = eval_at(a);
+    Evaluation fb = eval_at(b);
+    evals += 2;
+    for (std::size_t it = 0; it < options.refine_iters; ++it) {
+      if (fa.total() <= fb.total()) {
+        hi = b;
+        b = a;
+        fb = fa;
+        a = hi - kGolden * (hi - lo);
+        fa = eval_at(a);
+      } else {
+        lo = a;
+        a = b;
+        fa = fb;
+        b = lo + kGolden * (hi - lo);
+        fb = eval_at(b);
+      }
+      ++evals;
+    }
+    for (const auto& [k, e] :
+         {std::pair{a, fa}, std::pair{b, fb}}) {
+      if (e.total() < best.total()) {
+        best = e;
+        best_k = k;
+      }
+    }
+  }
+  result.solution.iterations += evals;
+
+  // Strict improvement only: ties (and fp noise) keep the crawl, so a
+  // zero-effect sleep spec can never perturb the returned schedule.
+  if (best.total() >= crawl_eval.total() * (1.0 - 1e-12)) return result;
+
+  result.raced = true;
+  result.speedup = best_k;
+  result.chosen.busy = best.busy;
+  result.chosen.idle = best.idle;
+  result.solution.method = "race-to-idle";
+  result.solution.energy = best.busy;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.weight(v) == 0.0) continue;
+    result.solution.speeds[v] =
+        std::min(result.solution.speeds[v] * best_k, model.s_max);
+  }
+  return result;
+}
+
+}  // namespace reclaim::core

@@ -12,6 +12,32 @@
 
 namespace reclaim::core {
 
+/// The one relative feasibility tolerance shared by every solver's
+/// deadline/cap check. A schedule whose makespan (or required speed)
+/// exceeds the bound by at most this relative slack counts as feasible:
+/// deadline-tight instances assembled in floating point (D = W / s_max
+/// summed in a different order than the solver sums it) land within a few
+/// ulps of the boundary on either side, and the ad-hoc per-solver guards
+/// (1e-12 here, 1e-9 there) used to declare some of them infeasible.
+/// Aliases sched::kScheduleRelTol (meets_deadline's default) so solver
+/// feasibility and schedule validation can never drift apart.
+inline constexpr double kFeasibilityRelTol = sched::kScheduleRelTol;
+
+/// True when a makespan of `makespan` meets `deadline` within
+/// kFeasibilityRelTol.
+[[nodiscard]] constexpr bool within_deadline(double makespan,
+                                             double deadline) noexcept {
+  return makespan <= deadline * (1.0 + kFeasibilityRelTol);
+}
+
+/// True when a required speed `needed` is achievable under cap `s_max`
+/// within kFeasibilityRelTol (callers clamp the speed they actually use
+/// to s_max).
+[[nodiscard]] constexpr bool within_speed_cap(double needed,
+                                              double s_max) noexcept {
+  return needed <= s_max * (1.0 + kFeasibilityRelTol);
+}
+
 /// An instance of MinEnergy(G, D): the *execution* graph (original
 /// precedence edges plus same-processor chaining edges, see
 /// sched::build_execution_graph), the deadline, and the power model

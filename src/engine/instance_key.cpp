@@ -1,7 +1,10 @@
 #include "engine/instance_key.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
+
+#include "util/error.hpp"
 
 namespace reclaim::engine {
 
@@ -14,6 +17,13 @@ void put_u64(std::string& out, std::uint64_t v) {
 }
 
 void put_double(std::string& out, double v) {
+  // Bit patterns make equal keys imply equal inputs, but the two IEEE
+  // zeros are mathematically identical while differing in the sign bit: a
+  // parsed "-0.0" weight or p_static must hit the same memo entry as 0.0.
+  // NaN is the dual failure (equal bits, never equal as a value) and can
+  // only poison the memo — reject it here with a clear error.
+  util::require(!std::isnan(v), "instance key: NaN is not a valid field value");
+  if (v == 0.0) v = 0.0;  // canonicalize -0.0
   std::uint64_t bits;
   static_assert(sizeof bits == sizeof v);
   std::memcpy(&bits, &v, sizeof bits);
@@ -26,12 +36,17 @@ void put_modes(std::string& out, const model::ModeSet& modes) {
 }
 
 // Every field that determines the power model's math goes into the key:
-// kind tag, exponent, and static power. Hashing alpha alone would alias
-// two models that differ only in p_static onto one memo entry.
+// kind tag, exponent, static power, and the three sleep-spec fields
+// (idle/sleep power and wake cost feed the platform accounting and the
+// race-to-idle layer). Hashing a subset would alias distinct models onto
+// one memo entry.
 void put_power(std::string& out, const model::PowerModel& power) {
   out.push_back(power.kind() == model::PowerModel::Kind::kPowerLaw ? 'p' : 's');
   put_double(out, power.alpha());
   put_double(out, power.p_static());
+  put_double(out, power.sleep().p_idle);
+  put_double(out, power.sleep().p_sleep);
+  put_double(out, power.sleep().e_wake);
 }
 
 void put_topology(std::string& out, const graph::Digraph& g) {

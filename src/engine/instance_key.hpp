@@ -6,14 +6,16 @@
 //     edges, which is what the per-structure dispatch cache needs (the
 //     classification ignores weights, deadlines and models).
 //   - instance_key: topology + weights + deadline + the full power model
-//     (kind, alpha, p_static — see DESIGN.md, "Memo-key fields") + energy
-//     model + the solver options that affect the answer. Two instances
-//     share it exactly when a deterministic solver must return the same
-//     Solution, which is what the solution memo needs.
+//     (kind, alpha, p_static, and the sleep spec's idle/sleep power and
+//     wake cost — see DESIGN.md, "Memo-key fields") + energy model + the
+//     solver options that affect the answer. Two instances share it
+//     exactly when a deterministic solver must return the same Solution,
+//     which is what the solution memo needs.
 //
-// Keys are deterministic byte encodings (doubles by bit pattern, sizes as
-// fixed-width integers), so equal keys imply equal inputs — the memo never
-// needs a structural comparison and hash collisions cannot alias results.
+// Keys are deterministic byte encodings (doubles by bit pattern with -0.0
+// canonicalized to 0.0 and NaN rejected, sizes as fixed-width integers),
+// so equal keys imply equal inputs — the memo never needs a structural
+// comparison and hash collisions cannot alias results.
 #pragma once
 
 #include <string>

@@ -1,6 +1,8 @@
 #include "model/power_model.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -46,6 +48,26 @@ double window_energy_impl(double alpha, double p_static, double weight,
 }
 
 }  // namespace
+
+double SleepSpec::break_even() const noexcept {
+  if (e_wake == 0.0) return 0.0;
+  if (p_idle <= p_sleep) return std::numeric_limits<double>::infinity();
+  return e_wake / (p_idle - p_sleep);
+}
+
+double SleepSpec::gap_energy(double length) const {
+  util::require(length >= 0.0, "gap length must be non-negative");
+  // With an all-zero spec both branches are exactly 0.0, so zero-parameter
+  // accounting is bit-identical to not accounting at all.
+  return std::min(p_idle * length, p_sleep * length + e_wake);
+}
+
+SleepSpec make_sleep_spec(double p_idle, double p_sleep, double e_wake) {
+  util::require(p_idle >= 0.0, "idle power must be non-negative");
+  util::require(p_sleep >= 0.0, "sleep power must be non-negative");
+  util::require(e_wake >= 0.0, "wake-up energy must be non-negative");
+  return SleepSpec{p_idle, p_sleep, e_wake};
+}
 
 StaticPowerLaw::StaticPowerLaw(double alpha, double p_static)
     : alpha_(alpha),
@@ -96,6 +118,12 @@ double PowerModel::window_energy(double weight, double window) const {
   return window_energy_impl(alpha_, p_static_, weight, window);
 }
 
+PowerModel PowerModel::with_sleep(const SleepSpec& spec) const {
+  PowerModel copy = *this;
+  copy.sleep_ = make_sleep_spec(spec.p_idle, spec.p_sleep, spec.e_wake);
+  return copy;
+}
+
 double PowerModel::parallel_compose(double w1, double w2) const {
   return dynamic_law().parallel_compose(w1, w2);
 }
@@ -104,12 +132,19 @@ std::string PowerModel::name() const {
   std::ostringstream out;
   if (has_static_power()) out << p_static_ << " + ";
   out << "s^" << alpha_;
+  if (has_sleep()) {
+    out << " [idle " << sleep_.p_idle << ", sleep " << sleep_.p_sleep
+        << ", wake " << sleep_.e_wake << "]";
+  }
   return out.str();
 }
 
-PowerModel make_power_model(double alpha, double p_static) {
-  if (p_static == 0.0) return PowerModel(PowerLaw(alpha));
-  return PowerModel(StaticPowerLaw(alpha, p_static));
+PowerModel make_power_model(double alpha, double p_static,
+                            const SleepSpec& sleep) {
+  const PowerModel base = p_static == 0.0
+                              ? PowerModel(PowerLaw(alpha))
+                              : PowerModel(StaticPowerLaw(alpha, p_static));
+  return sleep.enabled() ? base.with_sleep(sleep) : base;
 }
 
 }  // namespace reclaim::model

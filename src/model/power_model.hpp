@@ -22,6 +22,50 @@
 
 namespace reclaim::model {
 
+/// Power-down / sleep behavior of a processor outside its busy intervals.
+///
+/// While idle-but-awake a processor dissipates p_idle watts; it may instead
+/// drop into a sleep state at p_sleep watts, paying e_wake joules to come
+/// back up. A gap of length L is therefore charged
+///
+///     min(p_idle * L,  p_sleep * L + e_wake)
+///
+/// and the two branches cross at the break-even length
+///
+///     L* = e_wake / (p_idle - p_sleep)
+///
+/// (Baptiste-Chrobak-Durr; "speed scaling with power down" in PAPERS.md):
+/// gaps shorter than L* stay idle, longer gaps sleep. The all-zero default
+/// reproduces the paper's "idle time is free" accounting bit-identically —
+/// every gap charge is exactly 0.0, see DESIGN.md ("Power-down states").
+struct SleepSpec {
+  double p_idle = 0.0;   ///< power while idle but awake (>= 0)
+  double p_sleep = 0.0;  ///< power while asleep (>= 0, typically < p_idle)
+  double e_wake = 0.0;   ///< energy of one sleep -> awake transition (>= 0)
+
+  /// True when any field is nonzero, i.e. idle time costs something.
+  [[nodiscard]] bool enabled() const noexcept {
+    return p_idle != 0.0 || p_sleep != 0.0 || e_wake != 0.0;
+  }
+
+  /// Break-even gap length e_wake / (p_idle - p_sleep): sleeping wins for
+  /// gaps strictly longer than this. +inf when p_idle <= p_sleep (sleeping
+  /// never pays off); 0 when waking is free.
+  [[nodiscard]] double break_even() const noexcept;
+
+  /// Cheaper of idling and sleeping through a gap of length `length`:
+  /// min(p_idle * length, p_sleep * length + e_wake). Exactly 0.0 when the
+  /// spec is all-zero.
+  [[nodiscard]] double gap_energy(double length) const;
+
+  friend bool operator==(const SleepSpec&, const SleepSpec&) = default;
+};
+
+/// Validated spec (all fields non-negative) — the CLI's and benches'
+/// one-liner.
+[[nodiscard]] SleepSpec make_sleep_spec(double p_idle, double p_sleep,
+                                        double e_wake);
+
 /// Leakage-aware power law: a busy processor at speed s dissipates
 /// P_stat + s^alpha watts. With p_static == 0 every quantity degenerates
 /// bit-identically to PowerLaw.
@@ -58,10 +102,11 @@ class StaticPowerLaw {
   double s_crit_;
 };
 
-/// Value-semantic union of the two concrete power models. Cheap to copy
-/// and to encode into cache keys (kind + alpha + p_static determine every
-/// derived quantity); the engine memo must hash all three fields — see
-/// DESIGN.md ("Memo-key fields").
+/// Value-semantic union of the two concrete power models, plus the
+/// optional power-down spec for idle time. Cheap to copy and to encode
+/// into cache keys (kind + alpha + p_static + the three sleep fields
+/// determine every derived quantity); the engine memo must hash all of
+/// them — see DESIGN.md ("Memo-key fields").
 class PowerModel {
  public:
   enum class Kind { kPowerLaw, kStaticPowerLaw };
@@ -72,6 +117,11 @@ class PowerModel {
   PowerModel(const PowerLaw& law);              // NOLINT(google-explicit-constructor)
   PowerModel(const StaticPowerLaw& law);        // NOLINT(google-explicit-constructor)
 
+  /// Copy of this model with the given idle/sleep spec attached. Busy
+  /// quantities are untouched; only idle accounting (sched::idle_energy,
+  /// core::platform_energy, race-to-idle) reads the spec.
+  [[nodiscard]] PowerModel with_sleep(const SleepSpec& spec) const;
+
   [[nodiscard]] Kind kind() const noexcept { return kind_; }
   [[nodiscard]] double alpha() const noexcept { return alpha_; }
   /// Static (leakage) power; 0 for the pure power law.
@@ -80,6 +130,13 @@ class PowerModel {
   /// (P_stat/(alpha-1))^(1/alpha); 0 for the pure power law, so it is
   /// always a valid speed floor.
   [[nodiscard]] double critical_speed() const noexcept { return s_crit_; }
+  /// The idle/sleep spec; all-zero unless attached via with_sleep().
+  [[nodiscard]] const SleepSpec& sleep() const noexcept { return sleep_; }
+  [[nodiscard]] bool has_sleep() const noexcept { return sleep_.enabled(); }
+  /// Charge for one idle gap of length `length`: sleep().gap_energy.
+  [[nodiscard]] double idle_energy(double length) const {
+    return sleep_.gap_energy(length);
+  }
 
   /// Instantaneous busy power at speed s: P_stat + s^alpha.
   [[nodiscard]] double power(double speed) const;
@@ -104,7 +161,8 @@ class PowerModel {
   /// s_crit reduction runs (DESIGN.md).
   [[nodiscard]] PowerLaw dynamic_law() const { return PowerLaw(alpha_); }
 
-  /// Human-readable form: "s^3" or "0.5 + s^3".
+  /// Human-readable form: "s^3", "0.5 + s^3", or with a sleep spec
+  /// "0.5 + s^3 [idle 0.5, sleep 0.05, wake 2]".
   [[nodiscard]] std::string name() const;
 
   friend bool operator==(const PowerModel&, const PowerModel&) = default;
@@ -114,10 +172,13 @@ class PowerModel {
   double alpha_;
   double p_static_;
   double s_crit_;
+  SleepSpec sleep_{};
 };
 
 /// PowerLaw(alpha) when p_static == 0, StaticPowerLaw(alpha, p_static)
-/// otherwise — the CLI's and benches' one-liner.
-[[nodiscard]] PowerModel make_power_model(double alpha, double p_static);
+/// otherwise — the CLI's and benches' one-liner. The optional sleep spec
+/// is attached as-is (and validated).
+[[nodiscard]] PowerModel make_power_model(double alpha, double p_static,
+                                          const SleepSpec& sleep = {});
 
 }  // namespace reclaim::model

@@ -20,6 +20,7 @@
 #include "core/continuous/closed_form.hpp"
 #include "core/continuous/dispatch.hpp"
 #include "core/continuous/numeric_solver.hpp"
+#include "core/continuous/race_to_idle.hpp"
 #include "core/continuous/sp_solver.hpp"
 #include "core/continuous/tree_solver.hpp"
 #include "core/discrete/chain_dp.hpp"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "graph/topo.hpp"
 #include "util/error.hpp"
@@ -75,6 +76,51 @@ double total_energy(const std::vector<SpeedProfile>& profiles,
                     const model::PowerModel& power) {
   double e = 0.0;
   for (const SpeedProfile& p : profiles) e += p.energy(power);
+  return e;
+}
+
+std::vector<IdleInterval> idle_intervals(const graph::Digraph& exec_graph,
+                                         const Mapping& mapping,
+                                         const std::vector<double>& durations,
+                                         double window) {
+  require(window > 0.0, "idle window must be positive");
+  mapping.validate_complete(exec_graph);
+  const Timing timing = compute_timing(exec_graph, durations);
+  require(timing.makespan <= window * (1.0 + kScheduleRelTol),
+          "schedule does not fit inside the idle window");
+
+  std::vector<IdleInterval> gaps;
+  for (std::size_t p = 0; p < mapping.num_processors(); ++p) {
+    // Busy intervals of processor p. The mapping's list order is already
+    // execution order (chaining edges enforce it), but sorting by start
+    // keeps the enumeration correct for hand-built mappings whose lists
+    // are permuted relative to the timing.
+    std::vector<std::pair<double, double>> busy;
+    for (graph::NodeId v : mapping.tasks_on(p)) {
+      if (durations[v] <= 0.0) continue;
+      busy.emplace_back(timing.start[v], std::min(timing.finish[v], window));
+    }
+    std::sort(busy.begin(), busy.end());
+    double cursor = 0.0;
+    for (const auto& [start, finish] : busy) {
+      require(start >= cursor * (1.0 - kScheduleRelTol) - 1e-12,
+              "tasks of one processor overlap");
+      if (start > cursor) gaps.push_back({p, cursor, start});
+      cursor = std::max(cursor, finish);
+    }
+    if (cursor < window) gaps.push_back({p, cursor, window});
+  }
+  return gaps;
+}
+
+double idle_energy(const graph::Digraph& exec_graph, const Mapping& mapping,
+                   const std::vector<double>& durations, double window,
+                   const model::PowerModel& power) {
+  double e = 0.0;
+  for (const IdleInterval& gap :
+       idle_intervals(exec_graph, mapping, durations, window)) {
+    e += power.idle_energy(gap.length());
+  }
   return e;
 }
 

@@ -9,8 +9,15 @@
 #include "graph/digraph.hpp"
 #include "model/energy_model.hpp"
 #include "model/power_model.hpp"
+#include "sched/mapping.hpp"
 
 namespace reclaim::sched {
+
+/// The one relative tolerance for "does this schedule fit the window":
+/// meets_deadline's default and the idle-interval window-fit check.
+/// core::kFeasibilityRelTol aliases it so solver feasibility checks and
+/// schedule validation can never drift apart.
+inline constexpr double kScheduleRelTol = 1e-9;
 
 /// A Vdd-Hopping execution of one task: consecutive (speed, duration)
 /// segments. Constant-speed executions are a single segment.
@@ -53,11 +60,48 @@ struct Timing {
 [[nodiscard]] double total_energy(const std::vector<SpeedProfile>& profiles,
                                   const model::PowerModel& power);
 
+/// One idle gap on one processor: the half-open interval [begin, end)
+/// during which the processor has no task running, inside the platform
+/// window [0, window].
+struct IdleInterval {
+  std::size_t processor = 0;
+  double begin = 0.0;
+  double end = 0.0;
+
+  [[nodiscard]] double length() const noexcept { return end - begin; }
+
+  friend bool operator==(const IdleInterval&, const IdleInterval&) = default;
+};
+
+/// Enumerates every per-processor idle gap of the earliest-start schedule
+/// induced by `durations` under `mapping`, inside the window [0, window]:
+/// the head gap before a processor's first positive-duration task, the
+/// interior gaps between consecutive tasks, and the tail gap after its
+/// last task. A processor with no positive-duration task contributes one
+/// full-window gap. Zero-length gaps are dropped; gaps are ordered by
+/// (processor, begin). Requires every mapped task to finish inside the
+/// window (within the meets_deadline relative tolerance; busy intervals
+/// are clipped to the window).
+[[nodiscard]] std::vector<IdleInterval> idle_intervals(
+    const graph::Digraph& exec_graph, const Mapping& mapping,
+    const std::vector<double>& durations, double window);
+
+/// Total idle-time charge of the schedule: sum over idle gaps of
+/// min(P_idle * L, P_sleep * L + E_wake) under `power`'s sleep spec
+/// (model::SleepSpec::gap_energy). Exactly 0.0 when the spec is all-zero,
+/// so pre-sleep energy accounting is reproduced bit-identically.
+[[nodiscard]] double idle_energy(const graph::Digraph& exec_graph,
+                                 const Mapping& mapping,
+                                 const std::vector<double>& durations,
+                                 double window,
+                                 const model::PowerModel& power);
+
 /// True when the earliest-start makespan meets the deadline within
 /// relative tolerance.
 [[nodiscard]] bool meets_deadline(const graph::Digraph& exec_graph,
                                   const std::vector<double>& durations,
-                                  double deadline, double rel_tol = 1e-9);
+                                  double deadline,
+                                  double rel_tol = kScheduleRelTol);
 
 /// Throws InvalidArgument unless: one speed per task, every positive-weight
 /// task has a speed admissible under `model`, and the induced schedule

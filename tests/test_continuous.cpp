@@ -5,7 +5,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "core/baselines.hpp"
 #include "core/continuous/closed_form.hpp"
 #include "core/continuous/dispatch.hpp"
 #include "core/continuous/numeric_solver.hpp"
@@ -440,4 +442,80 @@ TEST(MonotoneInDeadline, EnergyDecreasesWithSlack) {
     EXPECT_LE(s.energy, previous * (1.0 + 1e-9));
     previous = s.energy;
   }
+}
+
+// Regression for the shared feasibility tolerance (core::kFeasibilityRelTol):
+// instances whose minimum makespan sits exactly at the deadline — or a few
+// ulps past it, because D = W / s_max rounds differently than the solver's
+// own sum of w_i / s_max — must be feasible and pinned at the caps on every
+// routing path, instead of tripping the old ad-hoc 1e-12/1e-9 guards.
+TEST(DeadlineTight, ExactlyTightChainIsFeasibleOnEveryPath) {
+  // 31 tasks of weight 0.1: W accumulates rounding, and the deadline is
+  // computed from the rounded sum, so solver-side re-accumulation lands
+  // within ulps of the boundary on either side.
+  std::vector<double> weights(31, 0.1);
+  const auto g = rg::make_chain(weights);
+  const double s_max = 1.3;
+  const double deadline = g.total_weight() / s_max;
+
+  auto instance = rc::make_instance(g, deadline);
+  const auto closed = rc::solve_chain(instance, rm::ContinuousModel{s_max});
+  ASSERT_TRUE(closed.feasible);
+  for (rg::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(closed.speeds[v], s_max);  // clamped, never above the cap
+    EXPECT_GE(closed.speeds[v], s_max * (1.0 - 1e-9));
+  }
+
+  rc::ContinuousOptions force;
+  force.force_numeric = true;
+  const auto numeric =
+      rc::solve_continuous(instance, rm::ContinuousModel{s_max}, force);
+  ASSERT_TRUE(numeric.feasible) << "numeric solver rejected a tight instance";
+  EXPECT_NEAR(numeric.energy, closed.energy, 1e-9 * closed.energy);
+
+  const auto dispatched =
+      rc::solve_continuous(instance, rm::ContinuousModel{s_max});
+  ASSERT_TRUE(dispatched.feasible);
+}
+
+TEST(DeadlineTight, ExactlyTightSingleTaskAndFork) {
+  const auto single = rc::make_instance(rg::make_chain({7.0}), 7.0 / 1.7);
+  const auto s1 = rc::solve_single(single, rm::ContinuousModel{1.7});
+  ASSERT_TRUE(s1.feasible);
+  EXPECT_LE(s1.speeds[0], 1.7);
+
+  // Fork whose root saturates exactly: w0 = 2, s_max = 2, leaves share
+  // the remaining window exactly.
+  auto fork = rg::Digraph{};
+  const auto root = fork.add_node(2.0);
+  const auto l1 = fork.add_node(1.0);
+  const auto l2 = fork.add_node(1.0);
+  fork.add_edge(root, l1);
+  fork.add_edge(root, l2);
+  const double deadline = 2.0 / 2.0 + 1.0 / 2.0;  // root + leaves at s_max
+  const auto instance = rc::make_instance(fork, deadline);
+  const auto s2 = rc::solve_fork(instance, rm::ContinuousModel{2.0});
+  ASSERT_TRUE(s2.feasible);
+  for (double v : s2.speeds) EXPECT_LE(v, 2.0);
+}
+
+TEST(DeadlineTight, BaselinesAcceptTightDeadlines) {
+  std::vector<double> weights(17, 0.3);
+  const auto g = rg::make_chain(weights);
+  const double s_max = 1.1;
+  const auto instance =
+      rc::make_instance(g, g.total_weight() / s_max);
+  const rm::EnergyModel cont = rm::ContinuousModel{s_max};
+  EXPECT_TRUE(rc::solve_no_dvfs(instance, cont).feasible);
+  EXPECT_TRUE(rc::solve_uniform(instance, cont).feasible);
+  EXPECT_TRUE(rc::solve_path_stretch(instance, cont).feasible);
+}
+
+TEST(DeadlineTight, WithinDeadlineHelperIsSymmetricallyTolerant) {
+  EXPECT_TRUE(rc::within_deadline(1.0, 1.0));
+  EXPECT_TRUE(rc::within_deadline(1.0 + 0.5 * rc::kFeasibilityRelTol, 1.0));
+  EXPECT_FALSE(rc::within_deadline(1.0 + 2.0 * rc::kFeasibilityRelTol, 1.0));
+  EXPECT_TRUE(rc::within_speed_cap(2.0, 2.0));
+  EXPECT_TRUE(rc::within_speed_cap(2.0 * (1.0 + 0.5 * rc::kFeasibilityRelTol), 2.0));
+  EXPECT_FALSE(rc::within_speed_cap(2.0 * (1.0 + 2.0 * rc::kFeasibilityRelTol), 2.0));
 }

@@ -3,8 +3,10 @@
 // a poisoned instance mid-batch.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
+#include "core/analysis.hpp"
 #include "core/problem.hpp"
 #include "core/solve.hpp"
 #include "engine/instance_key.hpp"
@@ -97,6 +99,84 @@ TEST(InstanceKey, DistinguishesEveryPowerModelField) {
   EXPECT_NE(re::instance_key(half, cont, opts), re::instance_key(one, cont, opts));
   // Same math, different kind: still distinct (conservative, never aliases).
   EXPECT_NE(re::instance_key(pure, cont, opts), re::instance_key(zero, cont, opts));
+}
+
+TEST(InstanceKey, DistinguishesSleepSpecFields) {
+  const auto g = rg::make_chain({1.0, 2.0});
+  const auto base = rm::make_power_model(3.0, 0.5);
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  const rc::SolveOptions opts;
+  const auto key = [&](const rm::PowerModel& p) {
+    return re::instance_key(rc::make_instance(g, 10.0, p), cont, opts);
+  };
+  EXPECT_NE(key(base), key(base.with_sleep(rm::make_sleep_spec(1.0, 0.0, 0.0))));
+  EXPECT_NE(key(base.with_sleep(rm::make_sleep_spec(1.0, 0.0, 0.0))),
+            key(base.with_sleep(rm::make_sleep_spec(0.0, 1.0, 0.0))));
+  EXPECT_NE(key(base.with_sleep(rm::make_sleep_spec(0.0, 1.0, 0.0))),
+            key(base.with_sleep(rm::make_sleep_spec(0.0, 0.0, 1.0))));
+}
+
+TEST(InstanceKey, CanonicalizesNegativeZeroAndRejectsNaN) {
+  // -0.0 and 0.0 are mathematically identical instances; the raw bit
+  // pattern differs in the sign bit and used to produce two memo keys.
+  auto plus = rg::make_chain({1.0, 2.0});
+  auto minus = rg::make_chain({1.0, 2.0});
+  plus.set_weight(0, 0.0);
+  minus.set_weight(0, -0.0);
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  const rc::SolveOptions opts;
+  EXPECT_EQ(re::instance_key(rc::make_instance(plus, 10.0), cont, opts),
+            re::instance_key(rc::make_instance(minus, 10.0), cont, opts));
+
+  // p_static = -0.0 (e.g. parsed from "-0" input) aliases to 0.0 too.
+  const auto p_plus = rc::make_instance(plus, 10.0, rm::StaticPowerLaw(3.0, 0.0));
+  const auto p_minus =
+      rc::make_instance(plus, 10.0, rm::StaticPowerLaw(3.0, -0.0));
+  EXPECT_EQ(re::instance_key(p_plus, cont, opts),
+            re::instance_key(p_minus, cont, opts));
+
+  // NaN can only poison the memo (never equal to itself): clear error.
+  // Digraph and make_instance already reject NaN weights/deadlines, so
+  // smuggle one in through the unvalidated aggregate.
+  const rc::Instance bad{rg::make_chain({1.0, 2.0}),
+                         std::numeric_limits<double>::quiet_NaN(),
+                         rm::PowerModel()};
+  EXPECT_THROW((void)re::instance_key(bad, cont, opts),
+               reclaim::InvalidArgument);
+}
+
+TEST(ReclaimEngine, MixedFeasibilityBatchTabulates) {
+  // One infeasible row (deadline below W / s_max) must not abort the
+  // batch, and the feasible rows must still tabulate busy_time (the CLI's
+  // leakage/idle columns) — the infeasible row simply renders as NA.
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  std::vector<rc::Instance> instances;
+  instances.push_back(rc::make_instance(rg::make_chain({2.0, 2.0}), 8.0,
+                                        rm::StaticPowerLaw(3.0, 0.5)));
+  instances.push_back(rc::make_instance(rg::make_chain({4.0, 4.0}), 1.0,
+                                        rm::StaticPowerLaw(3.0, 0.5)));
+  instances.push_back(rc::make_instance(rg::make_chain({1.0, 1.0, 1.0}), 6.0,
+                                        rm::StaticPowerLaw(3.0, 0.5)));
+
+  re::EngineOptions engine_options;
+  engine_options.threads = 2;
+  re::ReclaimEngine engine(engine_options);
+  const auto solutions = engine.solve_batch(instances, cont);
+
+  ASSERT_EQ(solutions.size(), 3u);
+  EXPECT_TRUE(solutions[0].feasible);
+  EXPECT_FALSE(solutions[1].feasible);
+  EXPECT_TRUE(solutions[2].feasible);
+  for (std::size_t i = 0; i < solutions.size(); ++i) {
+    if (solutions[i].feasible) {
+      EXPECT_GT(rc::busy_time(instances[i], solutions[i]), 0.0);
+    } else {
+      // The guard the CLI relies on: busy_time refuses infeasible rows
+      // loudly instead of reading garbage speeds.
+      EXPECT_THROW((void)rc::busy_time(instances[i], solutions[i]),
+                   reclaim::InvalidArgument);
+    }
+  }
 }
 
 TEST(ReclaimEngine, MemoDistinguishesPowerModels) {

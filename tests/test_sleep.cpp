@@ -1,0 +1,329 @@
+// Power-down / sleep-state tests: SleepSpec math (break-even threshold),
+// idle-interval enumeration, whole-platform energy accounting, the
+// zero-parameter bit-identity regression (sleep accounting off must
+// reproduce pre-sleep behavior exactly, across every solver family), and
+// the race-to-idle layer (never worse than the crawl; strictly better when
+// the crawl leaves idle-charged interior gaps).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/continuous/dispatch.hpp"
+#include "core/continuous/race_to_idle.hpp"
+#include "core/problem.hpp"
+#include "core/solve.hpp"
+#include "graph/generators.hpp"
+#include "model/power_model.hpp"
+#include "sched/execution_graph.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rc = reclaim::core;
+namespace rg = reclaim::graph;
+namespace rm = reclaim::model;
+namespace rs = reclaim::sched;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The canonical race-wins fixture: A alone on P0; B, C chained on P1 with
+/// A -> C, so P1 has an interior gap while A runs. Under a binding s_crit
+/// floor the crawl's busy cost is flat to first order in a uniform
+/// speed-up, and shrinking the idle-charged interior gap is a first-order
+/// saving — racing must win strictly.
+struct RaceFixture {
+  rc::Instance instance;
+  rs::Mapping mapping{2};
+};
+
+RaceFixture make_race_fixture(const rm::SleepSpec& sleep) {
+  rg::Digraph app;
+  const auto a = app.add_node(2.0, "A");
+  const auto b = app.add_node(0.5, "B");
+  const auto c = app.add_node(0.5, "C");
+  app.add_edge(a, c);
+  RaceFixture fx;
+  fx.mapping.assign(0, a);
+  fx.mapping.assign(1, b);
+  fx.mapping.assign(1, c);
+  const auto exec = rs::build_execution_graph(app, fx.mapping);
+  // P_stat = 2, alpha = 3 -> s_crit = 1; D = 6 leaves the floor binding.
+  fx.instance = rc::make_instance(
+      exec, 6.0,
+      rm::PowerModel(rm::StaticPowerLaw(3.0, 2.0)).with_sleep(sleep));
+  return fx;
+}
+
+/// Mapped instance + mapping for property tests over mixed app graphs.
+struct MappedInstance {
+  rc::Instance instance;
+  rs::Mapping mapping{1};
+};
+
+MappedInstance mapped(const rg::Digraph& app, std::size_t processors,
+                      double slack, const rm::PowerModel& power) {
+  MappedInstance m;
+  m.mapping = rs::list_schedule(app, processors).mapping;
+  auto exec = rs::build_execution_graph(app, m.mapping);
+  const double d_min = rc::min_deadline(exec, 2.0);
+  m.instance = rc::make_instance(std::move(exec), slack * d_min, power);
+  return m;
+}
+
+void expect_identical(const rc::Solution& a, const rc::Solution& b) {
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.energy, b.energy);  // bit-identical, not approximately equal
+  EXPECT_EQ(a.method, b.method);
+  ASSERT_EQ(a.speeds.size(), b.speeds.size());
+  for (std::size_t i = 0; i < a.speeds.size(); ++i) {
+    EXPECT_EQ(a.speeds[i], b.speeds[i]);
+  }
+}
+
+}  // namespace
+
+TEST(SleepSpec, BreakEvenMatchesDefinition) {
+  const auto spec = rm::make_sleep_spec(3.0, 1.0, 4.0);
+  // L* = e_wake / (p_idle - p_sleep) = 4 / 2.
+  EXPECT_DOUBLE_EQ(spec.break_even(), 2.0);
+  EXPECT_TRUE(spec.enabled());
+
+  // Sleeping never pays off when it is no cheaper than idling.
+  EXPECT_EQ(rm::make_sleep_spec(1.0, 1.0, 2.0).break_even(), kInf);
+  EXPECT_EQ(rm::make_sleep_spec(1.0, 2.0, 2.0).break_even(), kInf);
+  // Free wake-up: always sleep.
+  EXPECT_DOUBLE_EQ(rm::make_sleep_spec(1.0, 0.0, 0.0).break_even(), 0.0);
+
+  EXPECT_FALSE(rm::SleepSpec{}.enabled());
+  EXPECT_THROW((void)rm::make_sleep_spec(-1.0, 0.0, 0.0),
+               reclaim::InvalidArgument);
+  EXPECT_THROW((void)rm::make_sleep_spec(0.0, -1.0, 0.0),
+               reclaim::InvalidArgument);
+  EXPECT_THROW((void)rm::make_sleep_spec(0.0, 0.0, -1.0),
+               reclaim::InvalidArgument);
+}
+
+TEST(SleepSpec, GapEnergyPicksCheaperBranch) {
+  const auto spec = rm::make_sleep_spec(3.0, 1.0, 4.0);  // break-even 2
+  // Below break-even: idle wins.
+  EXPECT_DOUBLE_EQ(spec.gap_energy(1.0), 3.0);       // idle 3 < sleep 5
+  // Above break-even: sleep wins.
+  EXPECT_DOUBLE_EQ(spec.gap_energy(4.0), 8.0);       // sleep 8 < idle 12
+  // At break-even both branches agree.
+  EXPECT_DOUBLE_EQ(spec.gap_energy(2.0), 6.0);
+  EXPECT_DOUBLE_EQ(spec.gap_energy(0.0), 0.0);
+  EXPECT_THROW((void)spec.gap_energy(-1.0), reclaim::InvalidArgument);
+
+  // The all-zero spec charges exactly 0.0 for any gap.
+  EXPECT_EQ(rm::SleepSpec{}.gap_energy(123.456), 0.0);
+}
+
+TEST(SleepSpec, PowerModelCarriesTheSpec) {
+  const auto base = rm::make_power_model(3.0, 0.5);
+  EXPECT_FALSE(base.has_sleep());
+  const auto spec = rm::make_sleep_spec(0.5, 0.05, 2.0);
+  const auto with = base.with_sleep(spec);
+  EXPECT_TRUE(with.has_sleep());
+  EXPECT_EQ(with.sleep(), spec);
+  EXPECT_DOUBLE_EQ(with.idle_energy(1.0), 0.5);
+  // Busy quantities are untouched...
+  EXPECT_EQ(with.task_energy(2.0, 1.5), base.task_energy(2.0, 1.5));
+  // ...but the models compare (and hence memo-key) differently.
+  EXPECT_NE(with, base);
+  EXPECT_NE(with.name(), base.name());
+  EXPECT_EQ(rm::make_power_model(3.0, 0.5, spec), with);
+}
+
+TEST(IdleIntervals, EnumeratesHeadInteriorAndTailGaps) {
+  // A on P0; B, C chained on P1; A -> C. At unit speeds: A [0,2),
+  // B [0,0.5), C [2,2.5). Window 6.
+  const auto fx = make_race_fixture(rm::SleepSpec{});
+  const auto& g = fx.instance.exec_graph;
+  const std::vector<double> durations = {2.0, 0.5, 0.5};
+  const auto gaps = rs::idle_intervals(g, fx.mapping, durations, 6.0);
+
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0], (rs::IdleInterval{0, 2.0, 6.0}));    // P0 tail
+  EXPECT_EQ(gaps[1], (rs::IdleInterval{1, 0.5, 2.0}));    // P1 interior
+  EXPECT_EQ(gaps[2], (rs::IdleInterval{1, 2.5, 6.0}));    // P1 tail
+}
+
+TEST(IdleIntervals, HeadGapsEmptyProcessorsAndZeroDurations) {
+  // Chain X -> Y with X on P0 and Y on P1: P1 idles before Y starts (head
+  // gap); P2 is empty and idles the whole window; the zero-weight task Z
+  // occupies no time at all.
+  rg::Digraph app;
+  const auto x = app.add_node(1.0, "X");
+  const auto y = app.add_node(2.0, "Y");
+  const auto z = app.add_node(0.0, "Z");
+  app.add_edge(x, y);
+  rs::Mapping mapping(3);
+  mapping.assign(0, x);
+  mapping.assign(0, z);
+  mapping.assign(1, y);
+  const auto exec = rs::build_execution_graph(app, mapping);
+  const std::vector<double> durations = {1.0, 2.0, 0.0};
+  const auto gaps = rs::idle_intervals(exec, mapping, durations, 4.0);
+
+  ASSERT_EQ(gaps.size(), 4u);
+  EXPECT_EQ(gaps[0], (rs::IdleInterval{0, 1.0, 4.0}));  // P0 tail
+  EXPECT_EQ(gaps[1], (rs::IdleInterval{1, 0.0, 1.0}));  // P1 head
+  EXPECT_EQ(gaps[2], (rs::IdleInterval{1, 3.0, 4.0}));  // P1 tail
+  EXPECT_EQ(gaps[3], (rs::IdleInterval{2, 0.0, 4.0}));  // P2 fully idle
+
+  // A schedule that does not fit in the window is rejected.
+  EXPECT_THROW((void)rs::idle_intervals(exec, mapping, durations, 2.0),
+               reclaim::InvalidArgument);
+}
+
+TEST(IdleEnergy, ChargesEachGapAtTheCheaperBranch) {
+  const auto fx = make_race_fixture(rm::SleepSpec{});
+  const auto& g = fx.instance.exec_graph;
+  const std::vector<double> durations = {2.0, 0.5, 0.5};
+  // Gaps: 4.0 (P0 tail), 1.5 (P1 interior), 3.5 (P1 tail).
+  // Spec: idle 3, sleep 0, wake 6 -> break-even 2: the interior gap is
+  // shorter than break-even and idles, both tails sleep.
+  const auto power =
+      rm::make_power_model(3.0, 2.0, rm::make_sleep_spec(3.0, 0.0, 6.0));
+  const double idle = rs::idle_energy(g, fx.mapping, durations, 6.0, power);
+  EXPECT_DOUBLE_EQ(idle, 6.0 + 4.5 + 6.0);
+
+  // Zero spec: exactly 0.0, bit-identical to charging nothing.
+  EXPECT_EQ(rs::idle_energy(g, fx.mapping, durations, 6.0,
+                            rm::make_power_model(3.0, 2.0)),
+            0.0);
+}
+
+TEST(PlatformEnergy, SplitsBusyAndIdleOverTheDeadlineWindow) {
+  const auto fx =
+      make_race_fixture(rm::make_sleep_spec(3.0, 0.0, 6.0));
+  rc::ContinuousOptions options;
+  const auto crawl =
+      rc::solve_continuous(fx.instance, rm::ContinuousModel{kInf}, options);
+  ASSERT_TRUE(crawl.feasible);
+  // s_crit floor binds: every task at speed 1, busy = 3 * g(1) = 9.
+  EXPECT_NEAR(crawl.energy, 9.0, 1e-6);
+  const auto split =
+      rc::platform_energy(fx.instance, crawl, fx.mapping);
+  EXPECT_NEAR(split.busy, 9.0, 1e-9);
+  EXPECT_NEAR(split.idle, 16.5, 1e-6);  // 6 (P0 tail) + 4.5 (interior) + 6
+  EXPECT_NEAR(split.total(), 25.5, 1e-6);
+  EXPECT_NEAR(rc::idle_energy(fx.instance, crawl, fx.mapping), 16.5, 1e-6);
+}
+
+// Zero-parameter regression: with all sleep parameters zero, every solver
+// family's energy is bit-identical to solving without a sleep spec, and
+// the platform accounting adds exactly 0.0.
+TEST(ZeroSleepRegression, EverySolverFamilyIsBitIdentical) {
+  const rm::ModeSet modes({0.5, 1.0, 1.4, 2.0});
+  const std::vector<rm::EnergyModel> models = {
+      rm::ContinuousModel{2.0}, rm::DiscreteModel{modes},
+      rm::VddHoppingModel{modes}, rm::IncrementalModel(0.5, 2.0, 0.25)};
+  reclaim::util::Rng rng(131);
+  std::vector<rg::Digraph> apps;
+  apps.push_back(rg::make_chain(6, rng));
+  apps.push_back(rg::make_fork(5, rng));
+  apps.push_back(rg::make_layered(3, 3, 0.5, rng));
+  for (const auto& app : apps) {
+    for (std::size_t processors : {1, 2}) {
+      const auto plain =
+          mapped(app, processors, 1.5, rm::make_power_model(3.0, 0.7));
+      const auto zeroed = mapped(
+          app, processors, 1.5,
+          rm::make_power_model(3.0, 0.7).with_sleep(rm::SleepSpec{}));
+      for (const auto& model : models) {
+        const auto a = rc::solve(plain.instance, model);
+        const auto b = rc::solve(zeroed.instance, model);
+        expect_identical(a, b);
+        if (!a.feasible || a.uses_profiles()) continue;
+        const auto split =
+            rc::platform_energy(zeroed.instance, b, zeroed.mapping);
+        EXPECT_EQ(split.idle, 0.0);
+        EXPECT_EQ(split.total(), b.energy);  // bit-identical accounting
+      }
+      // Baselines too.
+      const auto base_a = rc::solve_uniform(plain.instance, models[0]);
+      const auto base_b = rc::solve_uniform(zeroed.instance, models[0]);
+      expect_identical(base_a, base_b);
+      const auto ps_a = rc::solve_path_stretch(plain.instance, models[0]);
+      const auto ps_b = rc::solve_path_stretch(zeroed.instance, models[0]);
+      expect_identical(ps_a, ps_b);
+    }
+  }
+}
+
+TEST(RaceToIdle, ZeroSpecReturnsTheCrawlBitIdentically) {
+  reclaim::util::Rng rng(137);
+  const auto app = rg::make_layered(3, 3, 0.5, rng);
+  const auto m = mapped(app, 2, 1.5, rm::make_power_model(3.0, 1.0));
+  const auto crawl = rc::solve_continuous(m.instance, rm::ContinuousModel{2.0});
+  const auto raced =
+      rc::solve_race_to_idle(m.instance, rm::ContinuousModel{2.0}, m.mapping);
+  EXPECT_FALSE(raced.raced);
+  EXPECT_DOUBLE_EQ(raced.speedup, 1.0);
+  expect_identical(crawl, raced.solution);
+  EXPECT_EQ(raced.chosen.idle, 0.0);
+  EXPECT_EQ(raced.chosen.total(), crawl.energy);
+}
+
+TEST(RaceToIdle, StrictlyBeatsCrawlOnInteriorGaps) {
+  // Acceptance fixture: nonzero wake cost, interior gap below break-even.
+  // Crawl platform energy 25.5 (busy 9 + idle 16.5, see PlatformEnergy
+  // test); racing shrinks the idle-charged interior gap at first-order
+  // zero busy cost (the s_crit floor binds), so it must strictly win.
+  const auto fx = make_race_fixture(rm::make_sleep_spec(3.0, 0.0, 6.0));
+  const auto r = rc::solve_race_to_idle(fx.instance, rm::ContinuousModel{kInf},
+                                        fx.mapping);
+  ASSERT_TRUE(r.solution.feasible);
+  EXPECT_TRUE(r.raced);
+  EXPECT_GT(r.speedup, 1.0);
+  EXPECT_EQ(r.solution.method, "race-to-idle");
+  EXPECT_NEAR(r.crawl.total(), 25.5, 1e-6);
+  EXPECT_LT(r.chosen.total(), r.crawl.total() * (1.0 - 1e-6));
+  // The raced schedule still meets the deadline and its busy bookkeeping
+  // is exact.
+  rs::validate_constant_speeds(fx.instance.exec_graph, r.solution.speeds,
+                               rm::ContinuousModel{kInf}, fx.instance.deadline);
+  EXPECT_NEAR(r.solution.energy, rc::recompute_energy(fx.instance, r.solution),
+              1e-9 * r.solution.energy);
+  // All speeds scaled uniformly off the crawl's floor-bound speed 1.
+  for (rg::NodeId v = 0; v < fx.instance.exec_graph.num_nodes(); ++v) {
+    EXPECT_NEAR(r.solution.speeds[v], r.speedup, 1e-6 * r.speedup);
+  }
+}
+
+TEST(RaceToIdle, NeverWorseThanTheCrawlProperty) {
+  reclaim::util::Rng rng(139);
+  const std::vector<rm::SleepSpec> specs = {
+      rm::make_sleep_spec(0.5, 0.0, 0.5),
+      rm::make_sleep_spec(2.0, 0.2, 4.0),
+      rm::make_sleep_spec(6.0, 0.0, 12.0),
+      rm::make_sleep_spec(1.0, 1.0, 0.0),  // sleeping never pays off
+  };
+  for (std::size_t trial = 0; trial < 6; ++trial) {
+    const auto app = rg::make_layered(3, 3, 0.5, rng);
+    for (const auto& spec : specs) {
+      const auto power = rm::make_power_model(3.0, 1.5).with_sleep(spec);
+      const auto m = mapped(app, 2, 1.6, power);
+      const auto r = rc::solve_race_to_idle(
+          m.instance, rm::ContinuousModel{2.0}, m.mapping);
+      if (!r.solution.feasible) continue;
+      EXPECT_LE(r.chosen.total(), r.crawl.total() * (1.0 + 1e-12));
+      rs::validate_constant_speeds(m.instance.exec_graph, r.solution.speeds,
+                                   rm::ContinuousModel{2.0},
+                                   m.instance.deadline);
+      // The reported split matches an independent re-accounting.
+      const auto split =
+          rc::platform_energy(m.instance, r.solution, m.mapping);
+      EXPECT_NEAR(split.total(), r.chosen.total(),
+                  1e-9 * (1.0 + r.chosen.total()));
+    }
+  }
+}

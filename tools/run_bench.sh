@@ -7,9 +7,15 @@
 #   tools/run_bench.sh [output-dir] [bench-glob]
 #
 # output-dir defaults to bench-results; bench-glob defaults to bench_e*
-# (CI records only the fast baselines with 'bench_e1[23]_*'). Set
+# (CI records only the fast baselines with 'bench_e1[234]_*'). Set
 # RECLAIM_BENCH_BUILD_DIR to reuse an existing Release build tree instead
 # of configuring build-bench from scratch.
+#
+# Perf-trajectory diff: when RECLAIM_BENCH_BASELINE_DIR points at a
+# directory of BENCH_*.json files from a previous run (CI downloads the
+# prior run's artifact there), a wall-seconds / instances-per-second diff
+# table is printed after the runs. The diff is informational only: the
+# script fails on bench crashes, never on regressions.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -54,6 +60,92 @@ EOF
 done
 
 echo "Results in $out_dir"
+
+# Diff against a previous run's baselines, if provided. Extracts every
+# "<number> inst/s" occurrence from the recorded output and compares the
+# best per bench, alongside wall seconds.
+# Best-effort by contract: a malformed baseline must never fail the run,
+# hence the || at the end of the heredoc invocation.
+baseline_dir="${RECLAIM_BENCH_BASELINE_DIR:-}"
+if [ -n "$baseline_dir" ] && [ -d "$baseline_dir" ]; then
+  python3 - "$baseline_dir" "$out_dir" <<'EOF' || echo "[perf diff] diff failed (ignored)"
+import glob, json, os, re, sys
+
+prev_dir, now_dir = sys.argv[1:]
+
+def rates_of(output):
+    """Every instances/second figure in a bench log: inline "N inst/s"
+    mentions plus the "inst/s" column of util::Table output."""
+    rates = [float(m) for m in
+             re.findall(r"([0-9]+(?:\.[0-9]+)?)\s*inst/s", output)]
+    lines = output.splitlines()
+    for i, line in enumerate(lines):
+        if "|" not in line or "inst/s" not in line:
+            continue
+        try:
+            column = [c.strip() for c in line.split("|")].index("inst/s")
+        except ValueError:  # mentions inst/s without being a header cell
+            continue
+        for row in lines[i + 1:]:
+            if row.strip("- ") == "":  # table border
+                continue
+            if "|" not in row:
+                break
+            cells = [c.strip() for c in row.split("|")]
+            if len(cells) <= column:
+                continue
+            try:
+                rates.append(float(cells[column]))
+            except ValueError:
+                continue
+    return rates
+
+def load(directory):
+    runs = {}
+    for path in glob.glob(os.path.join(directory, "BENCH_*.json")):
+        try:
+            payload = json.load(open(path, encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        rates = rates_of(payload.get("output", ""))
+        runs[payload.get("bench", os.path.basename(path))] = {
+            "status": payload.get("status", "?"),
+            "seconds": payload.get("wall_seconds"),
+            "inst_s": max(rates) if rates else None,
+            "commit": payload.get("commit", "?"),
+        }
+    return runs
+
+prev, now = load(prev_dir), load(now_dir)
+if not prev:
+    print(f"[perf diff] no baselines under {prev_dir}; skipping")
+    sys.exit(0)
+
+def fmt(value, unit=""):
+    return "-" if value is None else f"{value:.1f}{unit}"
+
+def delta(old, new):
+    if old in (None, 0) or new is None:
+        return "-"
+    return f"{100.0 * (new - old) / old:+.1f}%"
+
+header = (f"[perf diff] vs commit "
+          f"{next(iter(prev.values()))['commit']} ({len(prev)} baselines)")
+print(header)
+rows = [("bench", "prev s", "now s", "d-wall", "prev inst/s", "now inst/s", "d-rate")]
+for name in sorted(set(prev) | set(now)):
+    p, n = prev.get(name, {}), now.get(name, {})
+    rows.append((name, fmt(p.get("seconds")), fmt(n.get("seconds")),
+                 delta(p.get("seconds"), n.get("seconds")),
+                 fmt(p.get("inst_s")), fmt(n.get("inst_s")),
+                 delta(p.get("inst_s"), n.get("inst_s"))))
+widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+for row in rows:
+    print("  " + " | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+print("[perf diff] informational only: regressions never fail the run")
+EOF
+fi
+
 # A crashed bench still gets its JSON recorded above, but the run as a
 # whole must fail so CI goes red instead of shipping a broken baseline.
 if [ "$failures" -gt 0 ]; then
