@@ -39,7 +39,7 @@ int main() {
            util::Table::fmt_ratio(vdd.energy / cont.energy, 4),
            util::Table::fmt_ratio(round.energy / cont.energy, 4),
            util::Table::fmt_ratio(
-               core::discrete_transfer_bound(modes, instance.power), 4)});
+               core::discrete_transfer_bound(modes, instance.power()), 4)});
     }
     table.print(std::cout);
   }

@@ -90,7 +90,8 @@ int main() {
                       {"D/D_min", "tasks", "switches", "E + 0.05/switch",
                        "overhead"});
     for (double slack : {1.05, 1.5, 2.5}) {
-      core::Instance at{instance.exec_graph, slack * d_min, instance.power};
+      core::Instance at{instance.exec_graph, slack * d_min,
+                        instance.platform, instance.assignment};
       const auto s = bench::shared_engine().solve_one(at, vdd);
       if (!s.feasible) continue;
       const auto switches = core::total_speed_switches(s);

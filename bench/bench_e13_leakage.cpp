@@ -59,7 +59,7 @@ int main() {
       instances.push_back(
           bench::mapped_instance(app, 3, s_max, slack, 3.0, p_static));
     }
-    const double s_crit = instances.front().power.critical_speed();
+    const double s_crit = instances.front().power().critical_speed();
 
     const auto cont = eng.solve_batch(instances, model::ContinuousModel{s_max});
     const auto disc =

@@ -50,7 +50,8 @@ int main() {
            util::Table::fmt(round.energy, 5),
            util::Table::fmt_pct(round.energy / cont.energy - 1.0, 3),
            util::Table::fmt_pct(
-               core::incremental_transfer_bound(delta, 0.3, instance.power) - 1.0,
+               core::incremental_transfer_bound(delta, 0.3,
+                                                instance.power()) - 1.0,
                2)});
     }
     table.print(std::cout);

@@ -116,7 +116,8 @@ int main() {
   std::vector<core::Instance> sweep;
   for (int step = 0; step < 12; ++step) {
     const double slack = 1.05 + 0.05 * step;
-    sweep.push_back(core::Instance{exec, slack * d_min, instance.power});
+    sweep.push_back(core::Instance{exec, slack * d_min, instance.platform,
+                                   instance.assignment});
   }
   const auto energies =
       engine.solve_batch(sweep, model::DiscreteModel{modes});

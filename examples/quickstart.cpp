@@ -67,7 +67,7 @@ int main() {
     table.add_row({exec.name(v), util::Table::fmt(exec.weight(v), 1),
                    util::Table::fmt(solution.speeds[v], 4),
                    util::Table::fmt(
-                       instance.power.task_energy(exec.weight(v),
+                       instance.power().task_energy(exec.weight(v),
                                                   solution.speeds[v]),
                        4)});
   }

@@ -108,13 +108,40 @@ PlatformEnergy platform_energy(const Instance& instance,
   split.idle =
       sched::idle_energy(instance.exec_graph, mapping,
                          solution_durations(instance, solution), window,
-                         instance.power);
+                         instance.platform);
   return split;
 }
 
 double idle_energy(const Instance& instance, const Solution& solution,
                    const sched::Mapping& mapping, double window) {
   return platform_energy(instance, solution, mapping, window).idle;
+}
+
+std::vector<double> per_processor_energy(const Instance& instance,
+                                         const Solution& solution) {
+  util::require(solution.feasible,
+                "per_processor_energy requires a feasible solution");
+  const auto& g = instance.exec_graph;
+  std::vector<double> buckets(instance.platform.size(), 0.0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double e =
+        solution.uses_profiles()
+            ? solution.profiles[v].energy(instance.power_of(v))
+            : instance.power_of(v).task_energy(g.weight(v), solution.speeds[v]);
+    buckets[instance.processor_of(v)] += e;
+  }
+  return buckets;
+}
+
+double leakage_energy(const Instance& instance, const Solution& solution) {
+  util::require(solution.feasible,
+                "leakage_energy requires a feasible solution");
+  const auto durations = solution_durations(instance, solution);
+  double e = 0.0;
+  for (graph::NodeId v = 0; v < instance.exec_graph.num_nodes(); ++v) {
+    e += instance.power_of(v).p_static() * durations[v];
+  }
+  return e;
 }
 
 }  // namespace reclaim::core

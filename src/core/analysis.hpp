@@ -90,6 +90,20 @@ struct PlatformEnergy {
                                  const sched::Mapping& mapping,
                                  double window = 0.0);
 
+/// Busy energy charged to each processor: per-task energies (profile
+/// energies for Vdd) bucketed by the instance's task -> processor
+/// assignment, each task under its own processor's power curve. Size
+/// equals instance.platform.size(); the entries sum to solution.energy
+/// (up to summation order). Requires a feasible solution.
+[[nodiscard]] std::vector<double> per_processor_energy(const Instance& instance,
+                                                       const Solution& solution);
+
+/// Leakage share of a feasible solution's busy energy:
+/// sum_v P_stat(proc(v)) * duration_v — p_static * busy_time on a
+/// homogeneous platform, per-processor on a heterogeneous one.
+[[nodiscard]] double leakage_energy(const Instance& instance,
+                                    const Solution& solution);
+
 /// Number of intra-task speed switches of a Vdd solution (segments - 1 per
 /// task, non-profile solutions count zero). The paper's Vdd model treats
 /// switching as free (following Miermont et al.); this makes the

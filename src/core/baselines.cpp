@@ -1,36 +1,40 @@
 #include "core/baselines.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
 
 #include "graph/topo.hpp"
+#include "sched/schedule.hpp"
 #include "util/error.hpp"
 
 namespace reclaim::core {
 
 namespace {
 
-/// Cheapest admissible constant speed >= `needed` under `model`. The
+/// Cheapest admissible constant speed >= `needed` for one task, under the
+/// power model of its processor and the effective top speed `cap` (the
+/// processor cap; folded with the model's global cap by the caller). The
 /// per-unit-weight busy cost is unimodal with minimum at the critical
-/// speed (0 for the pure law): Continuous clamps into [needed, s_max];
+/// speed (0 for the pure law): Continuous clamps into [needed, top];
 /// mode-based models scan the modes at or above `needed` — s_crit need
 /// not be a mode, and the cheapest feasible mode can sit on either side
 /// of it. nullopt when even the top speed cannot reach `needed`.
-std::optional<double> cheapest_speed_at_least(const Instance& instance,
+std::optional<double> cheapest_speed_at_least(const model::PowerModel& power,
                                               const model::EnergyModel& model,
-                                              double needed) {
+                                              double cap, double needed) {
   if (std::holds_alternative<model::ContinuousModel>(model)) {
-    const double top = model::max_speed(model);
+    const double top = std::min(model::max_speed(model), cap);
     if (!within_speed_cap(needed, top)) return std::nullopt;
-    return std::min(std::max(needed, instance.power.critical_speed()), top);
+    return std::min(std::max(needed, power.critical_speed()), top);
   }
   const auto& modes = model::modes_of(model);
   const auto first = modes.index_at_or_above(needed);
   if (!first) return std::nullopt;
   std::size_t best = *first;
-  double best_cost = instance.power.task_energy(1.0, modes.speed(best));
+  double best_cost = power.task_energy(1.0, modes.speed(best));
   for (std::size_t j = *first + 1; j < modes.size(); ++j) {
-    const double cost = instance.power.task_energy(1.0, modes.speed(j));
+    const double cost = power.task_energy(1.0, modes.speed(j));
     if (cost < best_cost) {
       best = j;
       best_cost = cost;
@@ -41,29 +45,64 @@ std::optional<double> cheapest_speed_at_least(const Instance& instance,
 
 Solution constant_solution(const Instance& instance, double speed,
                            std::string method) {
-  Solution s;
-  s.method = std::move(method);
-  s.feasible = true;
-  s.speeds.assign(instance.exec_graph.num_nodes(), 0.0);
-  s.energy = 0.0;
+  return speeds_solution(
+      instance, std::vector<double>(instance.exec_graph.num_nodes(), speed),
+      std::move(method));
+}
+
+/// Per-task top speed. For the Continuous model the fastest speed folds
+/// with the task's processor cap (min(x, +inf) == x, so uncapped
+/// platforms reproduce the pre-platform value bit-identically); mode sets
+/// are platform-wide — caps bind the continuous family only (DESIGN.md,
+/// "Heterogeneous platforms") — so mode-based models keep the top mode
+/// everywhere, consistent with the other baselines' mode scans.
+std::vector<double> top_speeds(const Instance& instance,
+                               const model::EnergyModel& model) {
+  const double top = model::max_speed(model);
+  std::vector<double> tops(instance.exec_graph.num_nodes(), top);
+  if (!std::holds_alternative<model::ContinuousModel>(model)) return tops;
   for (graph::NodeId v = 0; v < instance.exec_graph.num_nodes(); ++v) {
-    const double w = instance.exec_graph.weight(v);
-    if (w == 0.0) continue;
-    s.speeds[v] = speed;
-    s.energy += instance.power.task_energy(w, speed);
+    tops[v] = std::min(top, instance.cap_of(v));
   }
-  return s;
+  return tops;
+}
+
+bool all_equal(const std::vector<double>& xs) {
+  for (double x : xs) {
+    if (x != xs.front()) return false;
+  }
+  return true;
 }
 
 }  // namespace
 
 Solution solve_no_dvfs(const Instance& instance, const model::EnergyModel& model) {
-  const double top = model::max_speed(model);
   const double required = critical_weight(instance.exec_graph);
-  if (required > 0.0 && !within_deadline(required / top, instance.deadline))
-    return infeasible_solution("no-dvfs");
   if (required == 0.0) return constant_solution(instance, 0.0, "no-dvfs");
-  return constant_solution(instance, top, "no-dvfs");
+
+  const auto tops = top_speeds(instance, model);
+  if (tops.empty() || all_equal(tops)) {
+    // Identical tops (incl. every pre-platform instance): the critical
+    // path at the shared top speed decides feasibility, as before.
+    const double top = tops.empty() ? model::max_speed(model) : tops.front();
+    if (!within_deadline(required / top, instance.deadline))
+      return infeasible_solution("no-dvfs");
+    return constant_solution(instance, top, "no-dvfs");
+  }
+  // Heterogeneous caps: the fastest schedule runs every task at its own
+  // top; its earliest-start makespan decides feasibility.
+  const auto& g = instance.exec_graph;
+  std::vector<double> durations(g.num_nodes(), 0.0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double w = g.weight(v);
+    if (w > 0.0 && tops[v] != std::numeric_limits<double>::infinity()) {
+      durations[v] = w / tops[v];
+    }
+  }
+  const double makespan = sched::compute_timing(g, durations).makespan;
+  if (!within_deadline(makespan, instance.deadline))
+    return infeasible_solution("no-dvfs");
+  return speeds_solution(instance, tops, "no-dvfs");
 }
 
 Solution solve_uniform(const Instance& instance, const model::EnergyModel& model) {
@@ -72,11 +111,20 @@ Solution solve_uniform(const Instance& instance, const model::EnergyModel& model
   // Running faster than the deadline requires only shortens the schedule,
   // so the baseline may pick the cheapest admissible speed above the
   // requirement — which under a leakage-aware power model is the one
-  // closest to the critical speed, not the slowest.
-  const auto speed =
-      cheapest_speed_at_least(instance, model, required / instance.deadline);
-  if (!speed) return infeasible_solution("uniform");
-  return constant_solution(instance, *speed, "uniform");
+  // closest to the critical speed, not the slowest. On a heterogeneous
+  // platform "one global speed target" resolves per task against its own
+  // processor's curve and cap.
+  const double needed = required / instance.deadline;
+  const auto& g = instance.exec_graph;
+  std::vector<double> speeds(g.num_nodes(), 0.0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.weight(v) == 0.0) continue;
+    const auto speed = cheapest_speed_at_least(instance.power_of(v), model,
+                                               instance.cap_of(v), needed);
+    if (!speed) return infeasible_solution("uniform");
+    speeds[v] = *speed;
+  }
+  return speeds_solution(instance, speeds, "uniform");
 }
 
 Solution solve_path_stretch(const Instance& instance,
@@ -90,13 +138,14 @@ Solution solve_path_stretch(const Instance& instance,
     return s;
   }
 
-  const double top = model::max_speed(model);
   const double critical = critical_weight(g);
   if (critical == 0.0) {
     s = constant_solution(instance, 0.0, "path-stretch");
     return s;
   }
-  if (!within_speed_cap(critical / instance.deadline, top))
+  const auto tops = top_speeds(instance, model);
+  if (all_equal(tops) &&
+      !within_speed_cap(critical / instance.deadline, tops.front()))
     return infeasible_solution(s.method);
 
   const auto to = graph::longest_path_to(g);     // includes own weight
@@ -110,12 +159,13 @@ Solution solve_path_stretch(const Instance& instance,
     if (w == 0.0) continue;
     const double through = to[v] + from[v] - w;  // heaviest path through v
     // Cheapest speed that keeps v's heaviest path inside the deadline —
-    // leakage-aware, as in solve_uniform.
+    // leakage-aware and per-processor, as in solve_uniform.
     const auto speed =
-        cheapest_speed_at_least(instance, model, through / instance.deadline);
+        cheapest_speed_at_least(instance.power_of(v), model, instance.cap_of(v),
+                                through / instance.deadline);
     if (!speed) return infeasible_solution(s.method);
     s.speeds[v] = *speed;
-    s.energy += instance.power.task_energy(w, *speed);
+    s.energy += instance.power_of(v).task_energy(w, *speed);
   }
   return s;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "graph/classify.hpp"
 #include "util/error.hpp"
@@ -14,18 +15,10 @@ namespace {
 
 Solution constant_speed_solution(const Instance& instance, double speed,
                                  std::string method) {
-  Solution s;
-  s.method = std::move(method);
-  s.feasible = true;
-  s.speeds.assign(instance.exec_graph.num_nodes(), 0.0);
-  s.energy = 0.0;
-  for (graph::NodeId v = 0; v < instance.exec_graph.num_nodes(); ++v) {
-    const double w = instance.exec_graph.weight(v);
-    if (w == 0.0) continue;
-    s.speeds[v] = speed;
-    s.energy += instance.power.task_energy(w, speed);
-  }
-  return s;
+  return speeds_solution(
+      instance,
+      std::vector<double>(instance.exec_graph.num_nodes(), speed),
+      std::move(method));
 }
 
 }  // namespace
@@ -62,7 +55,9 @@ Solution solve_fork(const Instance& instance, const model::ContinuousModel& mode
   const auto& g = instance.exec_graph;
   require(graph::is_fork(g), "solve_fork requires a fork graph");
   const graph::NodeId root = g.sources().front();
-  const double alpha = instance.power.alpha();
+  // Fork/join closed forms are dispatched only on homogeneous platforms;
+  // the l_alpha composition below needs the one shared exponent.
+  const double alpha = instance.power().alpha();
   const double d = instance.deadline;
   const double w0 = g.weight(root);
 
@@ -99,7 +94,7 @@ Solution solve_fork(const Instance& instance, const model::ContinuousModel& mode
     if (!within_speed_cap(s0, model.s_max)) return infeasible_solution(s.method);
     s0 = std::min(s0, model.s_max);
     s.speeds[root] = s0;
-    s.energy += instance.power.task_energy(w0, s0);
+    s.energy += instance.power_of(root).task_energy(w0, s0);
   }
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     if (v == root) continue;
@@ -108,7 +103,7 @@ Solution solve_fork(const Instance& instance, const model::ContinuousModel& mode
     const double sv = w / leaf_window;
     if (!within_speed_cap(sv, model.s_max)) return infeasible_solution(s.method);
     s.speeds[v] = std::min(sv, model.s_max);
-    s.energy += instance.power.task_energy(w, s.speeds[v]);
+    s.energy += instance.power_of(v).task_energy(w, s.speeds[v]);
   }
   s.feasible = true;
   return s;
@@ -117,11 +112,75 @@ Solution solve_fork(const Instance& instance, const model::ContinuousModel& mode
 Solution solve_join(const Instance& instance, const model::ContinuousModel& model) {
   require(graph::is_join(instance.exec_graph), "solve_join requires a join graph");
   // Equation (1) is symmetric under time reversal, so the join optimum is
-  // the fork optimum of the reversed graph with identical speeds.
+  // the fork optimum of the reversed graph with identical speeds. Reversal
+  // preserves node ids, so the platform assignment carries over verbatim.
   Instance reversed{instance.exec_graph.reversed(), instance.deadline,
-                    instance.power};
+                    instance.platform, instance.assignment};
   Solution s = solve_fork(reversed, model);
   s.method = "closed-form-join";
+  return s;
+}
+
+Solution solve_single_hetero(const Instance& instance, double cap,
+                             double floor) {
+  require(instance.exec_graph.num_nodes() == 1,
+          "solve_single_hetero requires one task");
+  const double w = instance.exec_graph.weight(0);
+  const double speed = std::max(w / instance.deadline, floor);
+  if (!within_speed_cap(speed, cap))
+    return infeasible_solution("closed-form-single");
+  return constant_speed_solution(instance, std::min(speed, cap),
+                                 "closed-form-single");
+}
+
+std::optional<Solution> solve_chain_hetero(const Instance& instance,
+                                           const std::vector<double>& caps,
+                                           const std::vector<double>& floors) {
+  const auto& g = instance.exec_graph;
+  require(g.num_nodes() == 1 || graph::is_chain(g),
+          "solve_chain_hetero requires a chain graph");
+  require(caps.size() == g.num_nodes() && floors.size() == g.num_nodes(),
+          "one cap and floor per task required");
+
+  // One shared dynamic exponent across the weighted tasks is what makes
+  // the equal-speed exchange argument go through for the *dynamic*
+  // objective (the reduction's target — see the header note on mixed
+  // P_stat for where that falls short of the true leaky optimum).
+  double alpha = 0.0;
+  double max_floor = 0.0;
+  double min_cap = std::numeric_limits<double>::infinity();
+  bool any_weighted = false;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.weight(v) == 0.0) continue;
+    const double a = instance.power_of(v).alpha();
+    if (!any_weighted) {
+      alpha = a;
+      any_weighted = true;
+    } else if (a != alpha) {
+      return std::nullopt;  // mixed exponents: equal speed is not optimal
+    }
+    max_floor = std::max(max_floor, floors[v]);
+    min_cap = std::min(min_cap, caps[v]);
+  }
+
+  const double common = g.total_weight() / instance.deadline;
+  // A binding floor means tasks should sit at their *own* floors, not a
+  // clamped common speed; a binding cap splits the chain into capped and
+  // slower segments. Both are the numeric solver's job.
+  if (any_weighted && common < max_floor) return std::nullopt;
+  if (!within_speed_cap(common, min_cap)) return std::nullopt;
+
+  Solution s;
+  s.method = "closed-form-chain";
+  s.feasible = true;
+  s.speeds.assign(g.num_nodes(), 0.0);
+  s.energy = 0.0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double w = g.weight(v);
+    if (w == 0.0) continue;
+    s.speeds[v] = std::min(common, caps[v]);  // shave fp slack off the cap
+    s.energy += instance.power_of(v).task_energy(w, s.speeds[v]);
+  }
   return s;
 }
 

@@ -15,7 +15,23 @@
 // speed up is exact for serial graphs — DESIGN.md, "The critical speed
 // and the s_crit reduction"), which is how the dispatcher keeps chains on
 // the closed-form path under leakage-aware power models.
+//
+// Heterogeneous platforms (per-task power coefficients) generalize the
+// serial closed forms: a single task is always exact (its own floor/cap
+// apply directly); a chain keeps the equal-speed form when every task
+// shares one dynamic exponent and the deadline-bound common speed W/D
+// clears every per-task floor and cap — that is the dynamic optimum the
+// floored numeric solver would return, i.e. the s_crit-reduction
+// semantics. It is additionally exact for the *true* leaky objective only
+// when the weighted tasks also share one P_stat; with mixed P_stat the
+// deadline-bound chain should shift duration toward the low-leakage
+// processors, a gap the reduction deliberately leaves to the open
+// exact-leaky-solver item (DESIGN.md, "Heterogeneous platforms").
+// Otherwise the dispatcher falls back to the floored numeric solver.
 #pragma once
+
+#include <optional>
+#include <vector>
 
 #include "core/problem.hpp"
 #include "model/energy_model.hpp"
@@ -39,5 +55,22 @@ namespace reclaim::core {
 /// Requires a join-shaped graph (graph::is_join).
 [[nodiscard]] Solution solve_join(const Instance& instance,
                                   const model::ContinuousModel& model);
+
+/// Per-task-coefficient single task: s = max(w/D, floor), infeasible past
+/// `cap`, clamped to it otherwise; energy under the task's own power
+/// model. Exact for any platform (one task, one processor).
+[[nodiscard]] Solution solve_single_hetero(const Instance& instance, double cap,
+                                           double floor);
+
+/// Per-task-coefficient chain: the equal-speed exchange argument needs a
+/// single dynamic exponent, so the closed form applies only when every
+/// weighted task shares one alpha and the common speed W/D clears every
+/// per-task floor (a binding floor would over-speed the other tasks) and
+/// cap. Returns nullopt when not exact — callers fall back to the floored
+/// numeric solver. `caps`/`floors` are the per-task effective values the
+/// dispatcher computed (one entry per task).
+[[nodiscard]] std::optional<Solution> solve_chain_hetero(
+    const Instance& instance, const std::vector<double>& caps,
+    const std::vector<double>& floors);
 
 }  // namespace reclaim::core

@@ -1,6 +1,8 @@
 #include "core/continuous/dispatch.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "core/continuous/closed_form.hpp"
 #include "core/continuous/numeric_solver.hpp"
@@ -31,19 +33,104 @@ Solution numeric(const Instance& instance, const model::ContinuousModel& model,
   return solve_numeric(instance, model, numeric_options);
 }
 
+/// Heterogeneous route: per-task effective caps (processor cap folded with
+/// the model's global one) and s_crit floors threaded into the solvers.
+/// Single tasks and single-exponent chains keep their closed forms; every
+/// other shape — and every case where a floor or cap binds the serial
+/// closed form — runs the numeric barrier solver with per-task bounds
+/// (DESIGN.md, "Heterogeneous platforms").
+Solution solve_hetero(const Instance& instance,
+                      const model::ContinuousModel& model,
+                      const ContinuousOptions& options) {
+  const auto& g = instance.exec_graph;
+  const std::size_t n = g.num_nodes();
+
+  std::vector<double> caps(n, model.s_max);
+  std::vector<double> floors(n, 0.0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    caps[v] = std::min(model.s_max, instance.cap_of(v));
+    // Floors only bind weighted tasks — a zero-weight task runs in zero
+    // time at no speed, so it gets no floor (a nonzero one could exceed
+    // a slow processor's cap and trip the numeric solver's validation).
+    if (g.weight(v) == 0.0) continue;
+    // A requested floor above a weighted task's cap (Theorem 5's rounding
+    // floor vs a slower processor) means the *restricted* relaxation has
+    // no admissible speed for that task: report infeasible rather than
+    // throwing, so CONT-ROUND degrades gracefully and an engine batch is
+    // never aborted by one capped instance.
+    if (options.s_min > caps[v]) {
+      return infeasible_solution("numeric-barrier");
+    }
+    floors[v] = std::max(
+        options.s_min,
+        std::min(instance.power_of(v).critical_speed(), caps[v]));
+  }
+
+  if (!options.force_numeric) {
+    // Only the serial closed forms survive heterogeneity; classifying
+    // beyond "single or chain" buys nothing here.
+    graph::GraphShape shape = graph::GraphShape::kGeneral;
+    if (options.shape_hint) {
+      shape = *options.shape_hint;
+    } else if (n == 1) {
+      shape = graph::GraphShape::kSingleTask;
+    } else if (graph::is_chain(g)) {
+      shape = graph::GraphShape::kChain;
+    }
+    if (shape == graph::GraphShape::kSingleTask) {
+      return solve_single_hetero(instance, caps[0], floors[0]);
+    }
+    if (shape == graph::GraphShape::kChain) {
+      if (auto s = solve_chain_hetero(instance, caps, floors)) return *s;
+    }
+  }
+
+  NumericOptions numeric_options;
+  numeric_options.rel_gap = options.rel_gap;
+  numeric_options.s_max_per_task = std::move(caps);
+  numeric_options.s_min_per_task = std::move(floors);
+  return solve_numeric(instance, model, numeric_options);
+}
+
 }  // namespace
 
 Solution solve_continuous(const Instance& instance,
-                          const model::ContinuousModel& model,
+                          const model::ContinuousModel& original_model,
                           const ContinuousOptions& options) {
   const auto& g = instance.exec_graph;
+  if (!instance.homogeneous_tasks())
+    return solve_hetero(instance, original_model, options);
+
+  // Homogeneous platform: fold the (shared) processor cap into the model's
+  // global one and run the identical-processor machinery unchanged. With
+  // an uncapped platform min(s_max, +inf) == s_max, so pre-platform
+  // instances take bit-identical paths.
+  const std::size_t proc0 =
+      g.num_nodes() == 0 ? 0 : instance.processor_of(0);
+  const model::ContinuousModel model{
+      std::min(original_model.s_max, instance.platform.cap(proc0))};
+
+  // A requested floor above the (platform-folded) cap leaves no
+  // admissible speed for any weighted task: the restricted relaxation is
+  // infeasible, same as the heterogeneous route. With no weighted task
+  // the floor is vacuous — nothing needs to run at all.
+  if (options.s_min > model.s_max) {
+    if (critical_weight(g) > 0.0) return infeasible_solution("numeric-barrier");
+    Solution trivial;
+    trivial.feasible = true;
+    trivial.energy = 0.0;
+    trivial.method = "numeric-barrier";
+    trivial.speeds.assign(g.num_nodes(), 0.0);
+    return trivial;
+  }
+
   // The s_crit reduction (DESIGN.md): under P = P_stat + s^alpha the
   // per-task busy cost is convex with minimizer s_crit, so the
   // leakage-aware problem runs the pure-dynamic machinery with the speed
   // floor raised to s_crit (capped at s_max: beyond the cap the cheapest
   // admissible speed is s_max itself).
   const double floor = std::max(
-      options.s_min, std::min(instance.power.critical_speed(), model.s_max));
+      options.s_min, std::min(instance.power().critical_speed(), model.s_max));
   if (options.force_numeric) return numeric(instance, model, floor, options);
 
   // Classify inline (same order as graph::classify) rather than calling it:

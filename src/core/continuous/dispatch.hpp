@@ -13,6 +13,13 @@
 // chain graphs stay on the closed-form path by clamping their constant
 // speed, every other shape falls back to the numeric solver when the
 // floor binds.
+//
+// Heterogeneous platforms (tasks seeing different power models or
+// processor caps via Instance::power_of/cap_of) route through per-task
+// caps and s_crit floors: single tasks and single-exponent chains keep
+// their closed forms where exact, everything else runs the numeric
+// barrier solver with per-task bounds (DESIGN.md, "Heterogeneous
+// platforms").
 #pragma once
 
 #include <memory>

@@ -15,17 +15,25 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// sum w_i^alpha / d_i^(alpha-1) over positive-weight tasks; the duration
-/// of task i lives at variable index n + i. Deliberately the *dynamic*
-/// objective even under a leakage-aware power model: leakage enters
-/// through the s_crit speed floor plus energy bookkeeping (the s_crit
-/// reduction, DESIGN.md), keeping all solver families consistent.
+/// sum w_i^alpha_i / d_i^(alpha_i-1) over positive-weight tasks; the
+/// duration of task i lives at variable index n + i, and alpha_i is the
+/// dynamic exponent of the processor executing task i (one shared value on
+/// a homogeneous platform). Each term is convex in d_i on d_i > 0, so the
+/// separable sum stays a valid barrier objective under heterogeneous
+/// exponents. Deliberately the *dynamic* objective even under a
+/// leakage-aware power model: leakage enters through the s_crit speed
+/// floors plus energy bookkeeping (the s_crit reduction, DESIGN.md),
+/// keeping all solver families consistent.
 class EnergyObjective final : public opt::ConvexObjective {
  public:
-  EnergyObjective(const graph::Digraph& g, const model::PowerModel& power)
-      : n_(g.num_nodes()), alpha_(power.alpha()) {
+  explicit EnergyObjective(const Instance& instance)
+      : n_(instance.exec_graph.num_nodes()) {
     weights_.reserve(n_);
-    for (graph::NodeId v = 0; v < n_; ++v) weights_.push_back(g.weight(v));
+    alphas_.reserve(n_);
+    for (graph::NodeId v = 0; v < n_; ++v) {
+      weights_.push_back(instance.exec_graph.weight(v));
+      alphas_.push_back(instance.power_of(v).alpha());
+    }
   }
 
   [[nodiscard]] double value(const la::Vector& x) const override {
@@ -35,7 +43,7 @@ class EnergyObjective final : public opt::ConvexObjective {
       if (w == 0.0) continue;
       const double d = x[n_ + i];
       if (d <= 0.0) return kInf;
-      e += std::pow(w, alpha_) / std::pow(d, alpha_ - 1.0);
+      e += std::pow(w, alphas_[i]) / std::pow(d, alphas_[i] - 1.0);
     }
     return e;
   }
@@ -45,7 +53,8 @@ class EnergyObjective final : public opt::ConvexObjective {
       const double w = weights_[i];
       if (w == 0.0) continue;
       const double d = x[n_ + i];
-      grad[n_ + i] += -(alpha_ - 1.0) * std::pow(w, alpha_) / std::pow(d, alpha_);
+      const double alpha = alphas_[i];
+      grad[n_ + i] += -(alpha - 1.0) * std::pow(w, alpha) / std::pow(d, alpha);
     }
   }
 
@@ -54,32 +63,17 @@ class EnergyObjective final : public opt::ConvexObjective {
       const double w = weights_[i];
       if (w == 0.0) continue;
       const double d = x[n_ + i];
+      const double alpha = alphas_[i];
       hess(n_ + i, n_ + i) +=
-          alpha_ * (alpha_ - 1.0) * std::pow(w, alpha_) / std::pow(d, alpha_ + 1.0);
+          alpha * (alpha - 1.0) * std::pow(w, alpha) / std::pow(d, alpha + 1.0);
     }
   }
 
  private:
   std::size_t n_;
-  double alpha_;
   std::vector<double> weights_;
+  std::vector<double> alphas_;
 };
-
-Solution speeds_solution(const Instance& instance,
-                         const std::vector<double>& speeds, std::string method) {
-  Solution s;
-  s.method = std::move(method);
-  s.feasible = true;
-  s.speeds.assign(instance.exec_graph.num_nodes(), 0.0);
-  s.energy = 0.0;
-  for (graph::NodeId v = 0; v < instance.exec_graph.num_nodes(); ++v) {
-    const double w = instance.exec_graph.weight(v);
-    if (w == 0.0) continue;
-    s.speeds[v] = speeds[v];
-    s.energy += instance.power.task_energy(w, speeds[v]);
-  }
-  return s;
-}
 
 }  // namespace
 
@@ -105,6 +99,32 @@ Solution solve_numeric(const Instance& instance,
   const auto cap = [&](graph::NodeId v) {
     return heterogeneous ? std::min(model.s_max, options.s_max_per_task[v])
                          : model.s_max;
+  };
+
+  // Per-task floors (the heterogeneous route's s_crit reduction). A floor
+  // within tolerance of its cap pins the task; no barrier constraint is
+  // added for it and the extracted speed is clamped up instead.
+  const bool per_task_floors = !options.s_min_per_task.empty();
+  if (per_task_floors) {
+    util::require(heterogeneous,
+                  "per-task floors require per-task caps alongside");
+    util::require(options.s_min_per_task.size() == n,
+                  "one per-task floor per task required");
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const double f = options.s_min_per_task[v];
+      util::require(f >= 0.0, "per-task floors must be non-negative");
+      util::require(f <= cap(v) * (1.0 + kFeasibilityRelTol),
+                    "per-task floor exceeds the task's speed cap");
+    }
+  }
+  const auto floor_of = [&](graph::NodeId v) {
+    return per_task_floors ? options.s_min_per_task[v] : 0.0;
+  };
+  // True when task v's floor is strictly below its cap and therefore
+  // enters the barrier as a d_v <= w_v / floor constraint.
+  const auto floor_active = [&](graph::NodeId v) {
+    const double f = floor_of(v);
+    return f > 0.0 && f < cap(v) * (1.0 - 1e-9);
   };
 
   if (n == 0) {
@@ -186,6 +206,17 @@ Solution solve_numeric(const Instance& instance,
       durations[v] = w > 0.0
                          ? std::max(w / s_start, (1.0 + theta) * min_durations[v])
                          : pad * 0.5;
+      // An active floor upper-bounds the duration (d_v <= w_v / floor);
+      // pull a too-slow start strictly inside the band. The midpoint of
+      // [w/cap, w/floor] is strictly feasible for both sides (floor_active
+      // guarantees floor < cap), and shrinking a duration only shortens
+      // the makespan, preserving the deadline margin.
+      if (w > 0.0 && floor_active(v)) {
+        const double d_max = w / floor_of(v);
+        if (durations[v] >= d_max) {
+          durations[v] = 0.5 * (min_durations[v] + d_max);
+        }
+      }
     }
   }
 
@@ -219,14 +250,18 @@ Solution solve_numeric(const Instance& instance,
     ineqs.push_back({{{v, 1.0}}, deadline});
     // -d_v <= -w_v / cap_v  (speed cap; reduces to d_v >= 0 when uncapped).
     ineqs.push_back({{{n + v, -1.0}}, -min_durations[v]});
-    // d_v <= w_v / s_min (speed floor, Theorem 5's restricted relaxation).
+    // d_v <= w_v / s_min (speed floor: Theorem 5's restricted relaxation,
+    // or a heterogeneous platform's per-task s_crit floor).
     const double w = g.weight(v);
     if (w > 0.0 && s_min > 0.0) {
       ineqs.push_back({{{n + v, 1.0}}, w / s_min});
     }
+    if (w > 0.0 && floor_active(v)) {
+      ineqs.push_back({{{n + v, 1.0}}, w / floor_of(v)});
+    }
   }
 
-  const EnergyObjective objective(g, instance.power);
+  const EnergyObjective objective(instance);
   opt::BarrierOptions barrier_options;
   barrier_options.rel_gap = options.rel_gap;
   const opt::BarrierResult result =
@@ -244,8 +279,13 @@ Solution solve_numeric(const Instance& instance,
     double speed = w / result.x[n + v];
     speed = std::min(speed, cap(v));  // shave barrier slack off the cap
     if (s_min > 0.0) speed = std::max(speed, s_min);  // ...and off the floor
+    if (per_task_floors) {
+      // Pinned tasks (floor ~ cap) have no barrier constraint; this clamp
+      // realizes their floor. It can only shorten the schedule.
+      speed = std::max(speed, std::min(floor_of(v), cap(v)));
+    }
     s.speeds[v] = speed;
-    s.energy += instance.power.task_energy(w, speed);
+    s.energy += instance.power_of(v).task_energy(w, speed);
   }
   return s;
 }

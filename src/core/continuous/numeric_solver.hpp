@@ -30,6 +30,14 @@ struct NumericOptions {
   /// min(s_max, s_max_per_task[i]). Mutually exclusive with s_min > 0
   /// (Theorem 5's restricted relaxation never needs both).
   std::vector<double> s_max_per_task;
+
+  /// Optional per-task speed floors (empty = none): the s_crit floors of a
+  /// heterogeneous platform, one per task, each in [0, cap]. Only valid
+  /// together with s_max_per_task (the heterogeneous route always supplies
+  /// both) and still mutually exclusive with the scalar s_min. A floor
+  /// within tolerance of its cap pins the task: the constraint is dropped
+  /// and the extracted speed clamped instead.
+  std::vector<double> s_min_per_task;
 };
 
 /// Solves any acyclic instance; detects infeasibility exactly (deadline

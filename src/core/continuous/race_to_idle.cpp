@@ -32,12 +32,13 @@ Evaluation evaluate_scaled(const Instance& instance,
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     const double w = g.weight(v);
     if (w == 0.0) continue;
-    const double speed = std::min(base_speeds[v] * k, s_max);
-    eval.busy += instance.power.task_energy(w, speed);
+    const double cap = std::min(s_max, instance.cap_of(v));
+    const double speed = std::min(base_speeds[v] * k, cap);
+    eval.busy += instance.power_of(v).task_energy(w, speed);
     durations[v] = w / speed;
   }
   eval.idle =
-      sched::idle_energy(g, mapping, durations, window, instance.power);
+      sched::idle_energy(g, mapping, durations, window, instance.platform);
   return eval;
 }
 
@@ -53,8 +54,9 @@ RaceToIdleResult solve_race_to_idle(const Instance& instance,
 
   result.crawl.busy = result.solution.energy;
   result.chosen = result.crawl;
-  if (!instance.power.has_sleep()) {
-    // No idle cost: the crawl is the whole answer, bit-identically.
+  if (!instance.platform.has_sleep()) {
+    // No idle cost anywhere on the platform: the crawl is the whole
+    // answer, bit-identically.
     return result;
   }
 
@@ -70,29 +72,37 @@ RaceToIdleResult solve_race_to_idle(const Instance& instance,
   result.crawl.idle = crawl_eval.idle;
   result.chosen = result.crawl;
 
-  // Cap the speed-up: never past s_max, and never past the point where the
-  // guaranteed busy increase (the dynamic part alone grows like k^(alpha-1))
-  // already exceeds everything the idle charge could possibly save.
+  // Cap the speed-up: never past the first task's cap, and never past the
+  // point where the guaranteed busy increase (the dynamic part alone grows
+  // like k^(alpha-1)) already exceeds everything the idle charge could
+  // possibly save. Per-task exponents use the smallest alpha for the worth
+  // bound — the slowest-growing dynamic term — which can only widen the
+  // searched range.
   double top = 0.0;
   double dynamic_busy = 0.0;
+  double alpha_min = kInf;
+  double k_cap = kInf;
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     const double w = g.weight(v);
     if (w == 0.0) continue;
-    top = std::max(top, result.solution.speeds[v]);
-    dynamic_busy +=
-        w * std::pow(result.solution.speeds[v], instance.power.alpha() - 1.0);
+    const double speed = result.solution.speeds[v];
+    const double alpha = instance.power_of(v).alpha();
+    top = std::max(top, speed);
+    alpha_min = std::min(alpha_min, alpha);
+    dynamic_busy += w * std::pow(speed, alpha - 1.0);
+    const double cap = std::min(model.s_max, instance.cap_of(v));
+    if (cap != kInf && speed > 0.0) k_cap = std::min(k_cap, cap / speed);
   }
   if (top <= 0.0 || dynamic_busy <= 0.0 || crawl_eval.idle <= 0.0) {
     return result;  // nothing to run or nothing to save
   }
   // Guaranteed net busy increase at factor k is at least
-  // dynamic * (k^(alpha-1) - 1) - static_share (the leakage share can shrink
-  // by at most itself), so past k_worth the race cannot recoup the idle
-  // charge even if it drove it to zero.
-  const double k_cap = model.s_max == kInf ? kInf : model.s_max / top;
+  // dynamic * (k^(alpha_min-1) - 1) - static_share (the leakage share can
+  // shrink by at most itself), so past k_worth the race cannot recoup the
+  // idle charge even if it drove it to zero.
   const double k_worth =
       std::pow((crawl_eval.busy + crawl_eval.idle) / dynamic_busy,
-               1.0 / (instance.power.alpha() - 1.0));
+               1.0 / (alpha_min - 1.0));
   const double k_hi = std::min(k_cap, k_worth);
   if (!(k_hi > 1.0)) return result;
 
@@ -169,7 +179,8 @@ RaceToIdleResult solve_race_to_idle(const Instance& instance,
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     if (g.weight(v) == 0.0) continue;
     result.solution.speeds[v] =
-        std::min(result.solution.speeds[v] * best_k, model.s_max);
+        std::min(result.solution.speeds[v] * best_k,
+                 std::min(model.s_max, instance.cap_of(v)));
   }
   return result;
 }

@@ -48,10 +48,13 @@ struct RaceToIdleResult {
 };
 
 /// Solves the instance with the s_crit-floored continuous solver, then
-/// races: scales all crawl speeds by a common factor k in [1, s_max/top]
-/// and picks the k minimizing busy + idle energy over the window under
-/// `mapping`. With no sleep spec (or an infeasible instance) the crawl is
-/// returned unchanged — bit-identical to solve_continuous.
+/// races: scales all crawl speeds by a common factor k in
+/// [1, min over tasks of cap/speed] (each task's cap folds the model's
+/// global s_max with its processor's own limit) and picks the k
+/// minimizing busy + idle energy over the window under `mapping`, with
+/// idle gaps charged under each processor's own sleep spec. With no
+/// sleep spec anywhere on the platform (or an infeasible instance) the
+/// crawl is returned unchanged — bit-identical to solve_continuous.
 [[nodiscard]] RaceToIdleResult solve_race_to_idle(
     const Instance& instance, const model::ContinuousModel& model,
     const sched::Mapping& mapping, const RaceToIdleOptions& options = {});

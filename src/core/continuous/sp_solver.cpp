@@ -49,7 +49,9 @@ double sp_equivalent_weight(const graph::Digraph& g, const graph::SpTree& tree,
 
 Solution solve_sp(const Instance& instance, const graph::SpTree& tree) {
   const auto& g = instance.exec_graph;
-  const auto weq = equivalent_weights(g, tree, instance.power);
+  // SP solving is dispatched only on homogeneous platforms; the l_alpha
+  // fold needs the one shared exponent.
+  const auto weq = equivalent_weights(g, tree, instance.power());
 
   Solution s;
   s.method = "series-parallel";
@@ -69,7 +71,8 @@ Solution solve_sp(const Instance& instance, const graph::SpTree& tree) {
         util::require_numeric(window > 0.0,
                               "sp solver: zero window for a weighted task");
         s.speeds[node.task] = w / window;
-        s.energy += instance.power.task_energy(w, s.speeds[node.task]);
+        s.energy += instance.power_of(node.task).task_energy(
+            w, s.speeds[node.task]);
         return;
       }
       case graph::SpKind::kSeries: {

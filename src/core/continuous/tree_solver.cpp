@@ -14,7 +14,9 @@ namespace {
 Solution solve_out_tree(const Instance& instance,
                         const model::ContinuousModel& model) {
   const auto& g = instance.exec_graph;
-  const double alpha = instance.power.alpha();
+  // Tree solving is dispatched only on homogeneous platforms; the l_alpha
+  // equivalent-weight fold needs the one shared exponent.
+  const double alpha = instance.power().alpha();
   const auto order = graph::topological_order(g);
   util::require(order.has_value(), "tree solver requires a DAG");
 
@@ -49,7 +51,7 @@ Solution solve_out_tree(const Instance& instance,
       duration = w / speed;
       if (duration > window[v] * (1.0 + kTol)) return infeasible_solution(s.method);
       s.speeds[v] = speed;
-      s.energy += instance.power.task_energy(w, speed);
+      s.energy += instance.power_of(v).task_energy(w, speed);
     }
     const double remaining = window[v] - duration;
     for (graph::NodeId c : g.successors(v)) window[c] = remaining;
@@ -67,7 +69,9 @@ Solution solve_tree(const Instance& instance, const model::ContinuousModel& mode
   }
   util::require(graph::is_in_tree(g),
                 "solve_tree requires an out-tree or in-tree");
-  Instance reversed{g.reversed(), instance.deadline, instance.power};
+  // Reversal preserves node ids; the platform assignment carries over.
+  Instance reversed{g.reversed(), instance.deadline, instance.platform,
+                    instance.assignment};
   Solution s = solve_out_tree(reversed, model);
   s.method = "tree";
   return s;

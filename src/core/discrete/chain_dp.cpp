@@ -53,7 +53,7 @@ ChainDpResult solve_chain_dp(const Instance& instance,
     for (std::size_t j = 0; j < mode_count; ++j) {
       const std::size_t cost = grid_cost(w, j);
       const double energy =
-          w == 0.0 ? 0.0 : instance.power.task_energy(w, modes.speed(j));
+          w == 0.0 ? 0.0 : instance.power_of(v).task_energy(w, modes.speed(j));
       if (cost > cells) continue;
       for (std::size_t r = cost; r <= cells; ++r) {
         const double candidate = dp[k][r - cost] + energy;

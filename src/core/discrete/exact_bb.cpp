@@ -20,7 +20,7 @@ constexpr double kDeadlineTol = 1.0 + 1e-9;
 struct Search {
   const graph::Digraph& g;
   const model::ModeSet& modes;
-  const model::PowerModel& power;
+  const Instance& instance;  ///< per-task power via power_of(v)
   double deadline;
   std::vector<graph::NodeId> order;      ///< topological
   std::vector<double> bottom_level;      ///< heaviest path weight from v
@@ -49,6 +49,7 @@ struct Search {
       ready = std::max(ready, completion[p]);
     const double tail_weight = bottom_level[v] - w;
     const double s_fast = modes.max_speed();
+    const model::PowerModel& power = instance.power_of(v);
     const double s_crit = power.critical_speed();
 
     // Zero-weight tasks are mode-independent: a single branch.
@@ -104,7 +105,7 @@ BranchBoundResult solve_discrete_exact(const Instance& instance,
 
   Search search{g,
                 modes,
-                instance.power,
+                instance,
                 instance.deadline,
                 *order,
                 graph::longest_path_from(g),
@@ -119,16 +120,20 @@ BranchBoundResult solve_discrete_exact(const Instance& instance,
 
   // energy_tail[k] = sum of cheapest-mode energies of tasks order[k..).
   // For the pure power law the cheapest mode is the slowest; with leakage
-  // it is the mode closest to the critical speed.
+  // it is the mode closest to the critical speed — per task, since each
+  // processor has its own s_crit on a heterogeneous platform. (For a
+  // homogeneous one min_j E(w, s_j) = w * min_j E(1, s_j) term by term,
+  // reproducing the pre-platform tail bit-identically.)
   search.energy_tail.assign(g.num_nodes() + 1, 0.0);
-  double cheapest_factor = kInf;
-  for (std::size_t j = 0; j < modes.size(); ++j) {
-    cheapest_factor =
-        std::min(cheapest_factor, instance.power.task_energy(1.0, modes.speed(j)));
-  }
   for (std::size_t k = g.num_nodes(); k-- > 0;) {
-    search.energy_tail[k] =
-        search.energy_tail[k + 1] + g.weight((*order)[k]) * cheapest_factor;
+    const graph::NodeId v = (*order)[k];
+    const double w = g.weight(v);
+    double cheapest = w == 0.0 ? 0.0 : kInf;
+    for (std::size_t j = 0; w > 0.0 && j < modes.size(); ++j) {
+      cheapest = std::min(
+          cheapest, instance.power_of(v).task_energy(w, modes.speed(j)));
+    }
+    search.energy_tail[k] = search.energy_tail[k + 1] + cheapest;
   }
 
   // Warm start with CONT-ROUND.
@@ -160,7 +165,7 @@ BranchBoundResult solve_discrete_exact(const Instance& instance,
     const double w = g.weight(v);
     if (w == 0.0) continue;
     s.speeds[v] = modes.speed(search.best_choice[v]);
-    s.energy += instance.power.task_energy(w, s.speeds[v]);
+    s.energy += instance.power_of(v).task_energy(w, s.speeds[v]);
   }
   s.iterations = search.nodes;
   return result;
@@ -184,7 +189,7 @@ Solution solve_discrete_enumerate(const Instance& instance,
     double energy = 0.0;
     for (graph::NodeId v = 0; v < n; ++v) {
       speeds[v] = g.weight(v) > 0.0 ? modes.speed(assignment[v]) : 0.0;
-      energy += instance.power.task_energy(g.weight(v), speeds[v]);
+      energy += instance.power_of(v).task_energy(g.weight(v), speeds[v]);
     }
     const auto durations = sched::durations_from_speeds(g, speeds);
     if (sched::meets_deadline(g, durations, instance.deadline) &&

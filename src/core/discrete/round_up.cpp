@@ -1,5 +1,6 @@
 #include "core/discrete/round_up.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/continuous/dispatch.hpp"
@@ -14,7 +15,20 @@ RoundUpResult solve_round_up(const Instance& instance,
   RoundUpResult result;
   result.solution.method = "cont-round";
 
-  const double alpha = instance.power.alpha();
+  // Theorem 5's per-task rounding bound holds per task with its own
+  // exponent; the instance-wide certificate uses the largest one among
+  // the *weighted* tasks (the worst per-task factor — an exponent on a
+  // processor hosting no work must not inflate it). On a homogeneous
+  // platform this is the shared alpha, bit-identically.
+  double alpha = 0.0;
+  bool any_weighted = false;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.weight(v) == 0.0) continue;
+    const double a = instance.power_of(v).alpha();
+    alpha = any_weighted ? std::max(alpha, a) : a;
+    any_weighted = true;
+  }
+  if (!any_weighted) alpha = instance.platform.power(0).alpha();
   result.certified_factor =
       std::pow(1.0 + modes.max_gap() / modes.min_speed(), alpha - 1.0) *
       std::pow(1.0 + options.continuous_rel_gap, alpha - 1.0);
@@ -37,7 +51,7 @@ RoundUpResult solve_round_up(const Instance& instance,
     util::require_numeric(index.has_value(),
                           "cont-round: relaxation speed above the top mode (bug)");
     s.speeds[v] = modes.speed(*index);
-    s.energy += instance.power.task_energy(w, s.speeds[v]);
+    s.energy += instance.power_of(v).task_energy(w, s.speeds[v]);
   }
   return result;
 }

@@ -5,6 +5,22 @@
 
 namespace reclaim::core {
 
+bool Instance::homogeneous_tasks() const {
+  if (assignment.empty() || platform.homogeneous()) return true;
+  const model::ProcessorSpec& ref = platform.spec(assignment.front());
+  for (std::size_t p : assignment) {
+    if (!(platform.spec(p) == ref)) return false;
+  }
+  return true;
+}
+
+const model::PowerModel& Instance::power() const {
+  util::require(homogeneous_tasks(),
+                "Instance::power(): tasks see different power models on this "
+                "platform; use power_of(task)");
+  return platform.power(assignment.empty() ? 0 : assignment.front());
+}
+
 Instance make_instance(graph::Digraph exec_graph, double deadline, double alpha) {
   return make_instance(std::move(exec_graph), deadline,
                        model::PowerModel(model::PowerLaw(alpha)));
@@ -14,12 +30,57 @@ Instance make_instance(graph::Digraph exec_graph, double deadline,
                        model::PowerModel power) {
   util::require(graph::is_acyclic(exec_graph), "execution graph must be acyclic");
   util::require(deadline > 0.0, "deadline must be positive");
-  return Instance{std::move(exec_graph), deadline, power};
+  return Instance{std::move(exec_graph), deadline, model::Platform(power), {}};
+}
+
+Instance make_instance(graph::Digraph exec_graph, double deadline,
+                       model::Platform platform, const sched::Mapping& mapping) {
+  mapping.validate_complete(exec_graph);
+  util::require(platform.size() == mapping.num_processors(),
+                "platform and mapping disagree on the processor count");
+  std::vector<std::size_t> assignment(exec_graph.num_nodes(), 0);
+  for (std::size_t p = 0; p < mapping.num_processors(); ++p) {
+    for (graph::NodeId v : mapping.tasks_on(p)) assignment[v] = p;
+  }
+  return make_instance(std::move(exec_graph), deadline, std::move(platform),
+                       std::move(assignment));
+}
+
+Instance make_instance(graph::Digraph exec_graph, double deadline,
+                       model::Platform platform,
+                       std::vector<std::size_t> assignment) {
+  util::require(graph::is_acyclic(exec_graph), "execution graph must be acyclic");
+  util::require(deadline > 0.0, "deadline must be positive");
+  util::require(assignment.size() == exec_graph.num_nodes(),
+                "one processor per task required");
+  for (std::size_t p : assignment) {
+    util::require(p < platform.size(),
+                  "assignment references an unknown processor");
+  }
+  return Instance{std::move(exec_graph), deadline, std::move(platform),
+                  std::move(assignment)};
 }
 
 Solution infeasible_solution(std::string method) {
   Solution s;
   s.method = std::move(method);
+  return s;
+}
+
+Solution speeds_solution(const Instance& instance,
+                         const std::vector<double>& speeds,
+                         std::string method) {
+  Solution s;
+  s.method = std::move(method);
+  s.feasible = true;
+  s.speeds.assign(instance.exec_graph.num_nodes(), 0.0);
+  s.energy = 0.0;
+  for (graph::NodeId v = 0; v < instance.exec_graph.num_nodes(); ++v) {
+    const double w = instance.exec_graph.weight(v);
+    if (w == 0.0) continue;
+    s.speeds[v] = speeds[v];
+    s.energy += instance.power_of(v).task_energy(w, speeds[v]);
+  }
   return s;
 }
 
@@ -34,9 +95,23 @@ double min_deadline(const graph::Digraph& exec_graph, double s_max) {
 }
 
 double recompute_energy(const Instance& instance, const Solution& solution) {
-  if (solution.uses_profiles())
-    return sched::total_energy(solution.profiles, instance.power);
-  return sched::total_energy(instance.exec_graph, solution.speeds, instance.power);
+  // Per-task accounting so each task is charged its own processor's power
+  // curve; for a homogeneous platform the sum is term-by-term identical to
+  // the pre-platform sched::total_energy path.
+  const auto& g = instance.exec_graph;
+  double e = 0.0;
+  if (solution.uses_profiles()) {
+    util::require(solution.profiles.size() == g.num_nodes(),
+                  "one profile per task required");
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v)
+      e += solution.profiles[v].energy(instance.power_of(v));
+    return e;
+  }
+  util::require(solution.speeds.size() == g.num_nodes(),
+                "one speed per task required");
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v)
+    e += instance.power_of(v).task_energy(g.weight(v), solution.speeds[v]);
+  return e;
 }
 
 }  // namespace reclaim::core

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "model/platform.hpp"
 #include "model/power_model.hpp"
 #include "sched/schedule.hpp"
 
@@ -40,12 +41,38 @@ inline constexpr double kFeasibilityRelTol = sched::kScheduleRelTol;
 
 /// An instance of MinEnergy(G, D): the *execution* graph (original
 /// precedence edges plus same-processor chaining edges, see
-/// sched::build_execution_graph), the deadline, and the power model
-/// (pure s^alpha or leakage-aware P_stat + s^alpha).
+/// sched::build_execution_graph), the deadline, the platform (one power
+/// model and speed cap per processor), and the task -> processor
+/// assignment derived from the mapping. A 1-processor Platform with an
+/// empty assignment is the paper's identical-processor setting; the
+/// implicit PowerModel -> Platform conversion keeps pre-platform
+/// aggregates like Instance{graph, D, power} compiling unchanged.
 struct Instance {
   graph::Digraph exec_graph;
   double deadline = 0.0;
-  model::PowerModel power{};
+  model::Platform platform{};
+  /// Task -> processor index; empty means every task runs on processor 0.
+  std::vector<std::size_t> assignment{};
+
+  [[nodiscard]] std::size_t processor_of(graph::NodeId v) const {
+    return assignment.empty() ? 0 : assignment[v];
+  }
+  /// The power model of the processor executing task v.
+  [[nodiscard]] const model::PowerModel& power_of(graph::NodeId v) const {
+    return platform.power(processor_of(v));
+  }
+  /// The speed cap of the processor executing task v (+inf when uncapped;
+  /// solvers fold it with the energy model's global cap).
+  [[nodiscard]] double cap_of(graph::NodeId v) const {
+    return platform.cap(processor_of(v));
+  }
+  /// True when every task sees the same power model and processor cap —
+  /// the homogeneous fast path every pre-platform solver ran.
+  [[nodiscard]] bool homogeneous_tasks() const;
+  /// The shared power model of a homogeneous instance — the pre-platform
+  /// accessor. Throws InvalidArgument when tasks see different models
+  /// (use power_of() instead).
+  [[nodiscard]] const model::PowerModel& power() const;
 };
 
 /// Builds an instance, validating the graph (acyclic) and deadline (> 0),
@@ -57,6 +84,20 @@ struct Instance {
 /// leakage-aware solving).
 [[nodiscard]] Instance make_instance(graph::Digraph exec_graph, double deadline,
                                      model::PowerModel power);
+
+/// Heterogeneous-platform instance: one ProcessorSpec per processor of
+/// `mapping`, whose ordered lists must cover every task of `exec_graph`
+/// exactly once (the execution graph is assumed to have been built from
+/// this very mapping — sched::build_execution_graph preserves node ids).
+[[nodiscard]] Instance make_instance(graph::Digraph exec_graph, double deadline,
+                                     model::Platform platform,
+                                     const sched::Mapping& mapping);
+
+/// Same, with an explicit task -> processor assignment (one entry per
+/// task, each below platform.size()).
+[[nodiscard]] Instance make_instance(graph::Digraph exec_graph, double deadline,
+                                     model::Platform platform,
+                                     std::vector<std::size_t> assignment);
 
 /// A solution of MinEnergy. Constant-speed models fill `speeds` (entry 0
 /// for zero-weight tasks); Vdd-Hopping fills `profiles`. `method` records
@@ -75,6 +116,15 @@ struct Solution {
 
 /// The infeasible solution with solver provenance.
 [[nodiscard]] Solution infeasible_solution(std::string method);
+
+/// Feasible solution from per-task speeds: zero-weight tasks keep speed
+/// 0, every other task is charged its own processor's power model at
+/// speeds[v]. The one builder shared by every constant-speed solver
+/// (closed forms, numeric extraction, baselines), so per-task energy
+/// accounting can never drift between them.
+[[nodiscard]] Solution speeds_solution(const Instance& instance,
+                                       const std::vector<double>& speeds,
+                                       std::string method);
 
 /// Weight of the heaviest path of the execution graph; D must be at least
 /// this divided by the fastest speed for any model to be feasible.

@@ -11,7 +11,8 @@ namespace {
 Solution solve_at(const Instance& instance, const model::EnergyModel& model,
                   double deadline, const SolveOptions& options,
                   const SolveFn& solver) {
-  Instance at{instance.exec_graph, deadline, instance.power};
+  Instance at{instance.exec_graph, deadline, instance.platform,
+              instance.assignment};
   if (solver) return solver(at, model, options);
   return solve(at, model, options);
 }

@@ -24,10 +24,13 @@ VddLpResult solve_vdd_lp(const Instance& instance,
   }
 
   opt::LinearProgram lp;
-  // alpha_{i,j} at index i*m + j; t_i at index n*m + i.
+  // alpha_{i,j} at index i*m + j; t_i at index n*m + i. The objective
+  // coefficient of time-in-mode is P_i(s_j) under the power model of the
+  // processor executing task i, so heterogeneous platforms are solved
+  // exactly — the LP minimizes the true (leaky, per-processor) objective.
   for (graph::NodeId i = 0; i < n; ++i)
     for (std::size_t j = 0; j < m; ++j)
-      lp.add_variable(instance.power.power(modes.speed(j)));
+      lp.add_variable(instance.power_of(i).power(modes.speed(j)));
   for (graph::NodeId i = 0; i < n; ++i) lp.add_variable(0.0);
   const auto avar = [m](graph::NodeId i, std::size_t j) { return i * m + j; };
   const auto tvar = [n, m](graph::NodeId i) { return n * m + i; };

@@ -50,7 +50,7 @@ Solution solve_vdd_two_mode(const Instance& instance,
       if (hi_time > 0.0) profile.segments.push_back({hi, hi_time});
       if (lo_time > 0.0) profile.segments.push_back({lo, lo_time});
     }
-    s.energy += profile.energy(instance.power);
+    s.energy += profile.energy(instance.power_of(v));
   }
   return s;
 }

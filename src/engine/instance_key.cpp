@@ -49,6 +49,20 @@ void put_power(std::string& out, const model::PowerModel& power) {
   put_double(out, power.sleep().e_wake);
 }
 
+// The whole platform (every processor's power model and cap) plus the
+// task -> processor assignment: per-task coefficients determine every
+// solver's answer, so hashing only one processor's model would alias
+// distinct heterogeneous platforms onto one memo entry.
+void put_platform(std::string& out, const core::Instance& instance) {
+  put_u64(out, instance.platform.size());
+  for (const model::ProcessorSpec& spec : instance.platform.specs()) {
+    put_power(out, spec.power);
+    put_double(out, spec.s_max);
+  }
+  put_u64(out, instance.assignment.size());
+  for (std::size_t p : instance.assignment) put_u64(out, p);
+}
+
 void put_topology(std::string& out, const graph::Digraph& g) {
   put_u64(out, g.num_nodes());
   put_u64(out, g.num_edges());
@@ -100,11 +114,29 @@ std::string instance_key(const core::Instance& instance,
   put_topology(key, g);
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) put_double(key, g.weight(v));
   put_double(key, instance.deadline);
-  put_power(key, instance.power);
+  put_platform(key, instance);
   put_model(key, model);
   put_u64(key, options.exact_discrete_up_to);
   put_double(key, options.rel_gap);
   put_double(key, options.continuous_s_min);
+  return key;
+}
+
+std::string mapped_instance_key(const core::Instance& instance,
+                                const sched::Mapping& mapping,
+                                const model::EnergyModel& model,
+                                const core::SolveOptions& options) {
+  std::string key = instance_key(instance, model, options);
+  // The ordered lists, not just the assignment: idle-gap enumeration (and
+  // hence the race-to-idle objective) depends on the execution order of
+  // each processor's tasks.
+  key.push_back('M');
+  put_u64(key, mapping.num_processors());
+  for (std::size_t p = 0; p < mapping.num_processors(); ++p) {
+    const auto& tasks = mapping.tasks_on(p);
+    put_u64(key, tasks.size());
+    for (graph::NodeId v : tasks) put_u64(key, v);
+  }
   return key;
 }
 

@@ -5,12 +5,18 @@
 //     exactly when their execution graphs have identical node ids and
 //     edges, which is what the per-structure dispatch cache needs (the
 //     classification ignores weights, deadlines and models).
-//   - instance_key: topology + weights + deadline + the full power model
-//     (kind, alpha, p_static, and the sleep spec's idle/sleep power and
-//     wake cost — see DESIGN.md, "Memo-key fields") + energy model + the
-//     solver options that affect the answer. Two instances share it
-//     exactly when a deterministic solver must return the same Solution,
-//     which is what the solution memo needs.
+//   - instance_key: topology + weights + deadline + the full platform
+//     (every processor's power model — kind, alpha, p_static, and the
+//     sleep spec's idle/sleep power and wake cost — plus its speed cap;
+//     see DESIGN.md, "Memo-key fields") + the task -> processor
+//     assignment + energy model + the solver options that affect the
+//     answer. Two instances share it exactly when a deterministic solver
+//     must return the same Solution, which is what the solution memo
+//     needs; distinct platforms or assignments can never collide.
+//   - mapped_instance_key: instance_key + the mapping's ordered
+//     per-processor task lists, for the engine's race-to-idle route
+//     (idle-gap charges depend on the execution order, not just the
+//     assignment).
 //
 // Keys are deterministic byte encodings (doubles by bit pattern with -0.0
 // canonicalized to 0.0 and NaN rejected, sizes as fixed-width integers),
@@ -24,6 +30,7 @@
 #include "core/solve.hpp"
 #include "graph/digraph.hpp"
 #include "model/energy_model.hpp"
+#include "sched/mapping.hpp"
 
 namespace reclaim::engine {
 
@@ -34,5 +41,12 @@ namespace reclaim::engine {
 [[nodiscard]] std::string instance_key(const core::Instance& instance,
                                        const model::EnergyModel& model,
                                        const core::SolveOptions& options);
+
+/// Canonical encoding of everything that determines a mapped (race-to-idle
+/// routed) solve's answer: instance_key plus the mapping's ordered lists.
+[[nodiscard]] std::string mapped_instance_key(const core::Instance& instance,
+                                              const sched::Mapping& mapping,
+                                              const model::EnergyModel& model,
+                                              const core::SolveOptions& options);
 
 }  // namespace reclaim::engine

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/continuous/dispatch.hpp"
+#include "core/continuous/race_to_idle.hpp"
 #include "core/discrete/chain_dp.hpp"
 #include "core/discrete/exact_bb.hpp"
 #include "core/discrete/round_up.hpp"
@@ -146,18 +147,62 @@ core::Solution ReclaimEngine::solve_routed(const core::Instance& instance,
   return solution;
 }
 
-std::vector<core::Solution> ReclaimEngine::solve_batch(
-    std::span<const core::Instance> instances, const model::EnergyModel& model,
-    const core::SolveOptions& options) {
+core::Solution ReclaimEngine::solve_mapped(const MappedInstance& mapped,
+                                           const model::EnergyModel& model,
+                                           const core::SolveOptions& options) {
+  const auto* continuous = std::get_if<model::ContinuousModel>(&model);
+  if (continuous == nullptr || !mapped.instance.platform.has_sleep()) {
+    // Without idle charges (or under a mode-based model) the mapping does
+    // not change the optimum: share the plain route and its memo entries.
+    return solve_routed(mapped.instance, model, options);
+  }
+
+  instances_.fetch_add(1, std::memory_order_relaxed);
+  util::require(mapped.instance.deadline > 0.0,
+                "ReclaimEngine: instance deadline must be positive");
+
+  std::string key;
+  if (options_.memoize) {
+    key = mapped_instance_key(mapped.instance, mapped.mapping, model, options);
+    const std::shared_lock lock(memo_mutex_);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+
+  core::RaceToIdleOptions race;
+  race.continuous.rel_gap = options.rel_gap;
+  race.continuous.s_min = options.continuous_s_min;
+  const ShapeEntry entry = shape_of(mapped.instance.exec_graph);
+  race.continuous.shape_hint = entry.shape;
+  race.continuous.sp_hint = entry.sp_tree;
+  const core::RaceToIdleResult result = core::solve_race_to_idle(
+      mapped.instance, *continuous, mapped.mapping, race);
+  fresh_solves_.fetch_add(1, std::memory_order_relaxed);
+  (result.raced ? raced_solves_ : crawl_solves_)
+      .fetch_add(1, std::memory_order_relaxed);
+
+  if (options_.memoize) {
+    const std::unique_lock lock(memo_mutex_);
+    if (options_.memo_capacity == 0 || memo_.size() < options_.memo_capacity) {
+      memo_.emplace(std::move(key), result.solution);
+    }
+  }
+  return result.solution;
+}
+
+std::vector<core::Solution> ReclaimEngine::run_batch(
+    std::size_t n, const std::function<core::Solution(std::size_t)>& solve_at) {
   batches_.fetch_add(1, std::memory_order_relaxed);
-  const std::size_t n = instances.size();
   std::vector<core::Solution> out(n);
   if (n == 0) return out;
 
   const std::size_t workers = pool_ ? std::min(pool_->size(), n) : 1;
   if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
-      out[i] = solve_routed(instances[i], model, options);
+      out[i] = solve_at(i);
     }
     return out;
   }
@@ -175,7 +220,7 @@ std::vector<core::Solution> ReclaimEngine::solve_batch(
       const std::size_t hi = std::min(n, lo + chunk);
       for (std::size_t i = lo; i < hi; ++i) {
         try {
-          out[i] = solve_routed(instances[i], model, options);
+          out[i] = solve_at(i);
         } catch (...) {
           {
             const std::lock_guard lock(error_mutex);
@@ -197,10 +242,32 @@ std::vector<core::Solution> ReclaimEngine::solve_batch(
   return out;
 }
 
+std::vector<core::Solution> ReclaimEngine::solve_batch(
+    std::span<const core::Instance> instances, const model::EnergyModel& model,
+    const core::SolveOptions& options) {
+  return run_batch(instances.size(), [&](std::size_t i) {
+    return solve_routed(instances[i], model, options);
+  });
+}
+
+std::vector<core::Solution> ReclaimEngine::solve_batch(
+    std::span<const MappedInstance> instances, const model::EnergyModel& model,
+    const core::SolveOptions& options) {
+  return run_batch(instances.size(), [&](std::size_t i) {
+    return solve_mapped(instances[i], model, options);
+  });
+}
+
 core::Solution ReclaimEngine::solve_one(const core::Instance& instance,
                                         const model::EnergyModel& model,
                                         const core::SolveOptions& options) {
   return solve_routed(instance, model, options);
+}
+
+core::Solution ReclaimEngine::solve_one(const MappedInstance& instance,
+                                        const model::EnergyModel& model,
+                                        const core::SolveOptions& options) {
+  return solve_mapped(instance, model, options);
 }
 
 EngineStats ReclaimEngine::stats() const {
@@ -210,6 +277,8 @@ EngineStats ReclaimEngine::stats() const {
   s.fresh_solves = fresh_solves_.load(std::memory_order_relaxed);
   s.memo_hits = memo_hits_.load(std::memory_order_relaxed);
   s.shape_hits = shape_hits_.load(std::memory_order_relaxed);
+  s.raced_solves = raced_solves_.load(std::memory_order_relaxed);
+  s.crawl_solves = crawl_solves_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -223,6 +292,8 @@ void ReclaimEngine::clear_caches() {
   fresh_solves_.store(0);
   memo_hits_.store(0);
   shape_hits_.store(0);
+  raced_solves_.store(0);
+  crawl_solves_.store(0);
 }
 
 }  // namespace reclaim::engine

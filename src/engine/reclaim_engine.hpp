@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <span>
@@ -38,6 +39,7 @@
 #include "graph/classify.hpp"
 #include "graph/sp_tree.hpp"
 #include "model/energy_model.hpp"
+#include "sched/mapping.hpp"
 #include "util/thread_pool.hpp"
 
 namespace reclaim::engine {
@@ -65,6 +67,22 @@ struct EngineStats {
   std::size_t fresh_solves = 0;  ///< instances that ran a solver
   std::size_t memo_hits = 0;     ///< instances answered from the memo
   std::size_t shape_hits = 0;    ///< classifications answered from the cache
+  /// Race-to-idle routing of mapped batches (fresh solves only; memoized
+  /// answers are not re-attributed): sleep-enabled continuous instances
+  /// where racing strictly won vs where the crawl stayed optimal.
+  std::size_t raced_solves = 0;
+  std::size_t crawl_solves = 0;
+};
+
+/// A MinEnergy instance together with the mapping its execution graph was
+/// built from. The mapping is what idle-interval accounting needs beyond
+/// the instance's task -> processor assignment (gap enumeration depends on
+/// each processor's execution order), so mapped batches unlock the
+/// engine-integrated race-to-idle route: sleep-enabled continuous
+/// instances are solved crawl-vs-race instead of busy-only.
+struct MappedInstance {
+  core::Instance instance;
+  sched::Mapping mapping{1};
 };
 
 class ReclaimEngine {
@@ -82,8 +100,24 @@ class ReclaimEngine {
       std::span<const core::Instance> instances, const model::EnergyModel& model,
       const core::SolveOptions& options = {});
 
+  /// Mapped batch: same sharding/caching, plus the engine-integrated
+  /// race-to-idle route — continuous instances whose platform carries a
+  /// sleep spec are solved via core::solve_race_to_idle under their
+  /// mapping (memoized under the mapping-extended key), every other
+  /// instance takes the plain route. EngineStats reports the crawl-vs-
+  /// raced split of the fresh sleep-routed solves.
+  [[nodiscard]] std::vector<core::Solution> solve_batch(
+      std::span<const MappedInstance> instances, const model::EnergyModel& model,
+      const core::SolveOptions& options = {});
+
   /// Single-instance convenience: goes through the same caches.
   [[nodiscard]] core::Solution solve_one(const core::Instance& instance,
+                                         const model::EnergyModel& model,
+                                         const core::SolveOptions& options = {});
+
+  /// Mapped single-instance convenience: the race-to-idle route of the
+  /// mapped solve_batch.
+  [[nodiscard]] core::Solution solve_one(const MappedInstance& instance,
                                          const model::EnergyModel& model,
                                          const core::SolveOptions& options = {});
 
@@ -107,10 +141,19 @@ class ReclaimEngine {
   core::Solution solve_routed(const core::Instance& instance,
                               const model::EnergyModel& model,
                               const core::SolveOptions& options);
+  core::Solution solve_mapped(const MappedInstance& instance,
+                              const model::EnergyModel& model,
+                              const core::SolveOptions& options);
   core::Solution dispatch(const core::Instance& instance,
                           const model::EnergyModel& model,
                           const core::SolveOptions& options);
   ShapeEntry shape_of(const graph::Digraph& g);
+  /// Shared dynamic-chunking drain loop of both solve_batch overloads:
+  /// slot i of the result is solve_at(i); the first exception aborts the
+  /// batch and is rethrown on the caller's thread.
+  std::vector<core::Solution> run_batch(
+      std::size_t n,
+      const std::function<core::Solution(std::size_t)>& solve_at);
 
   EngineOptions options_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< null when threads == 1
@@ -126,6 +169,8 @@ class ReclaimEngine {
   std::atomic<std::size_t> fresh_solves_{0};
   std::atomic<std::size_t> memo_hits_{0};
   std::atomic<std::size_t> shape_hits_{0};
+  std::atomic<std::size_t> raced_solves_{0};
+  std::atomic<std::size_t> crawl_solves_{0};
 };
 
 }  // namespace reclaim::engine

@@ -151,12 +151,12 @@ void write_solution(std::ostream& out, const core::Instance& instance,
       out << display_name(g, v);
       for (const auto& segment : solution.profiles[v].segments)
         out << ' ' << segment.speed << 'x' << segment.duration;
-      out << ' ' << solution.profiles[v].energy(instance.power) << '\n';
+      out << ' ' << solution.profiles[v].energy(instance.power_of(v)) << '\n';
     }
   } else {
     for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
       out << display_name(g, v) << ' ' << solution.speeds[v] << ' '
-          << instance.power.task_energy(g.weight(v), solution.speeds[v])
+          << instance.power_of(v).task_energy(g.weight(v), solution.speeds[v])
           << '\n';
     }
   }

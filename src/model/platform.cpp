@@ -1,0 +1,82 @@
+#include "model/platform.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace reclaim::model {
+
+namespace {
+
+void validate_spec(const ProcessorSpec& spec) {
+  // PowerModel construction already validated alpha/p_static/sleep; the
+  // cap is the only platform-level field.
+  util::require(spec.s_max > 0.0, "processor speed cap must be positive");
+}
+
+}  // namespace
+
+Platform::Platform(const PowerModel& power) : procs_(1) {
+  procs_[0].power = power;
+}
+
+Platform::Platform(std::vector<ProcessorSpec> procs)
+    : procs_(std::move(procs)) {
+  util::require(!procs_.empty(), "a platform needs at least one processor");
+  for (const ProcessorSpec& spec : procs_) validate_spec(spec);
+}
+
+Platform Platform::uniform(std::size_t n, const PowerModel& power,
+                           double s_max) {
+  util::require(n >= 1, "a platform needs at least one processor");
+  ProcessorSpec spec{power, s_max};
+  validate_spec(spec);
+  return Platform(std::vector<ProcessorSpec>(n, spec));
+}
+
+const ProcessorSpec& Platform::spec(std::size_t p) const {
+  util::require(p < procs_.size(), "processor index out of range");
+  return procs_[p];
+}
+
+bool Platform::homogeneous() const {
+  for (std::size_t p = 1; p < procs_.size(); ++p) {
+    if (!(procs_[p] == procs_[0])) return false;
+  }
+  return true;
+}
+
+bool Platform::has_sleep() const {
+  for (const ProcessorSpec& spec : procs_) {
+    if (spec.power.has_sleep()) return true;
+  }
+  return false;
+}
+
+std::string Platform::name() const {
+  const auto spec_name = [](const ProcessorSpec& spec) {
+    std::ostringstream out;
+    out << spec.power.name();
+    if (spec.s_max != std::numeric_limits<double>::infinity()) {
+      out << " cap " << spec.s_max;
+    }
+    return out.str();
+  };
+  if (homogeneous()) {
+    if (procs_.size() == 1) return spec_name(procs_[0]);
+    std::ostringstream out;
+    out << procs_.size() << " x [" << spec_name(procs_[0]) << "]";
+    return out.str();
+  }
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t p = 0; p < procs_.size(); ++p) {
+    if (p > 0) out << " | ";
+    out << spec_name(procs_[p]);
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace reclaim::model

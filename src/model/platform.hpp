@@ -1,0 +1,92 @@
+// Heterogeneous platforms: one PowerModel (and speed cap) per processor.
+//
+// The paper's MinEnergy(G, D) assumes identical processors; the journal
+// version (arXiv:1204.0939) and the multi-processor energy-scheduling
+// literature (e.g. Felber-Meyerson, arXiv:1105.5177) treat platforms where
+// each processor has its own power curve and speed cap. model::Platform is
+// the value-semantic description of such a platform: an ordered list of
+// ProcessorSpecs, each carrying a full PowerModel (alpha, P_stat, sleep
+// spec) plus an optional per-processor speed cap. core::Instance pairs a
+// Platform with the task -> processor assignment from sched::Mapping, and
+// every solver family reads per-task coefficients through it — see
+// DESIGN.md ("Heterogeneous platforms").
+//
+// A homogeneous Platform of size 1 (the implicit PowerModel conversion)
+// keeps every pre-platform call site working and reproduces the uniform
+// code paths bit-identically.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "model/power_model.hpp"
+
+namespace reclaim::model {
+
+/// One processor of a (possibly heterogeneous) platform: its busy power
+/// model plus its own speed cap. The cap defaults to +inf, meaning the
+/// energy model's global cap is the only limit; the effective cap of a
+/// task is min(global, processor). Caps bind the *continuous* solver
+/// family (including the continuous relaxation inside CONT-ROUND); mode
+/// sets are platform-wide — see DESIGN.md ("Heterogeneous platforms").
+struct ProcessorSpec {
+  PowerModel power{};
+  double s_max = std::numeric_limits<double>::infinity();
+
+  friend bool operator==(const ProcessorSpec&, const ProcessorSpec&) = default;
+};
+
+/// Value-semantic collection of per-processor specs; never empty. Cheap to
+/// copy and to encode into the engine's memo keys (every spec field is
+/// hashed — see DESIGN.md, "Memo-key fields").
+class Platform {
+ public:
+  /// Single default processor (pure power law s^3, uncapped).
+  Platform() : procs_(1) {}
+
+  // Implicit by design: every pre-platform call site that stored a single
+  // PowerModel in an Instance migrates to a 1-processor Platform without
+  // edits (and Instance aggregates like {graph, D, power} keep compiling).
+  Platform(const PowerModel& power);  // NOLINT(google-explicit-constructor)
+
+  /// Explicit per-processor specs; must be non-empty, caps must be > 0.
+  explicit Platform(std::vector<ProcessorSpec> procs);
+
+  /// Homogeneous platform: `n` identical processors.
+  [[nodiscard]] static Platform uniform(
+      std::size_t n, const PowerModel& power,
+      double s_max = std::numeric_limits<double>::infinity());
+
+  [[nodiscard]] std::size_t size() const noexcept { return procs_.size(); }
+
+  [[nodiscard]] const ProcessorSpec& spec(std::size_t p) const;
+  [[nodiscard]] const PowerModel& power(std::size_t p) const {
+    return spec(p).power;
+  }
+  [[nodiscard]] double cap(std::size_t p) const { return spec(p).s_max; }
+  [[nodiscard]] const std::vector<ProcessorSpec>& specs() const noexcept {
+    return procs_;
+  }
+
+  /// True when every processor has the same spec (power model and cap) —
+  /// the uniform fast path every pre-platform solver ran.
+  [[nodiscard]] bool homogeneous() const;
+
+  /// True when any processor's power model carries a sleep spec, i.e.
+  /// idle time costs something somewhere on the platform.
+  [[nodiscard]] bool has_sleep() const;
+
+  /// Human-readable form: "s^3" for a homogeneous 1-proc platform,
+  /// "2 x [0.5 + s^3]" for larger homogeneous ones, and the per-processor
+  /// list "[s^3 | 0.5 + s^3.5 cap 1.5]" when heterogeneous.
+  [[nodiscard]] std::string name() const;
+
+  friend bool operator==(const Platform&, const Platform&) = default;
+
+ private:
+  std::vector<ProcessorSpec> procs_;
+};
+
+}  // namespace reclaim::model

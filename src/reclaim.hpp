@@ -41,6 +41,7 @@
 #include "graph/sp_tree.hpp"
 #include "graph/topo.hpp"
 #include "model/energy_model.hpp"
+#include "model/platform.hpp"
 #include "model/power.hpp"
 #include "model/power_model.hpp"
 #include "model/speed_set.hpp"

@@ -124,6 +124,21 @@ double idle_energy(const graph::Digraph& exec_graph, const Mapping& mapping,
   return e;
 }
 
+double idle_energy(const graph::Digraph& exec_graph, const Mapping& mapping,
+                   const std::vector<double>& durations, double window,
+                   const model::Platform& platform) {
+  const bool broadcast = platform.size() == 1;
+  require(broadcast || platform.size() == mapping.num_processors(),
+          "platform and mapping disagree on the processor count");
+  double e = 0.0;
+  for (const IdleInterval& gap :
+       idle_intervals(exec_graph, mapping, durations, window)) {
+    const std::size_t p = broadcast ? 0 : gap.processor;
+    e += platform.power(p).idle_energy(gap.length());
+  }
+  return e;
+}
+
 bool meets_deadline(const graph::Digraph& exec_graph,
                     const std::vector<double>& durations, double deadline,
                     double rel_tol) {

@@ -8,6 +8,7 @@
 
 #include "graph/digraph.hpp"
 #include "model/energy_model.hpp"
+#include "model/platform.hpp"
 #include "model/power_model.hpp"
 #include "sched/mapping.hpp"
 
@@ -95,6 +96,16 @@ struct IdleInterval {
                                  const std::vector<double>& durations,
                                  double window,
                                  const model::PowerModel& power);
+
+/// Heterogeneous variant: each gap is charged under the sleep spec of its
+/// own processor. A 1-processor platform broadcasts its model across every
+/// processor of the mapping (the pre-platform semantics, bit-identically);
+/// otherwise the platform must have one spec per mapping processor.
+[[nodiscard]] double idle_energy(const graph::Digraph& exec_graph,
+                                 const Mapping& mapping,
+                                 const std::vector<double>& durations,
+                                 double window,
+                                 const model::Platform& platform);
 
 /// True when the earliest-start makespan meets the deadline within
 /// relative tolerance.

@@ -162,7 +162,7 @@ TEST(SpSolver, EnergyIsWeqFormula) {
   const auto tree = rg::sp_decompose(g);
   ASSERT_TRUE(tree.has_value());
   const auto s = rc::solve_sp(instance, *tree);
-  const double weq = rc::sp_equivalent_weight(g, *tree, instance.power);
+  const double weq = rc::sp_equivalent_weight(g, *tree, instance.power());
   EXPECT_NEAR(s.energy, std::pow(weq, 3.0) / (20.0 * 20.0),
               1e-9 * (1.0 + s.energy));
   expect_feasible_under(instance, s, kInf);

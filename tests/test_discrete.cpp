@@ -228,7 +228,7 @@ TEST(RoundUp, FeasibleAndCertified) {
     }
     expect_valid_discrete(instance, inc.modes, result.solution);
     const auto cert = rc::certify_round_up(result.solution, result.relaxation,
-                                           inc.modes, instance.power, 1e-9);
+                                           inc.modes, instance.power(), 1e-9);
     EXPECT_TRUE(cert.holds) << "trial " << trial << " measured "
                             << cert.measured << " certified " << cert.certified;
     // For alpha = 3 the certified factor is (1 + delta/s_min)^2 = 2.25.
@@ -250,7 +250,7 @@ TEST(RoundUp, BoundHoldsAgainstDiscreteOptimum) {
     if (!exact.solution.feasible) continue;
     ASSERT_TRUE(round.solution.feasible);
     const double bound =
-        rc::incremental_transfer_bound(0.5, 0.5, instance.power);
+        rc::incremental_transfer_bound(0.5, 0.5, instance.power());
     EXPECT_LE(round.solution.energy,
               bound * exact.solution.energy * (1.0 + 1e-6))
         << trial;
@@ -294,7 +294,7 @@ TEST(RoundUp, GeneralizedExponentCertificate) {
     const auto result = rc::solve_round_up(instance, inc.modes);
     ASSERT_TRUE(result.solution.feasible) << alpha;
     const auto cert = rc::certify_round_up(result.solution, result.relaxation,
-                                           inc.modes, instance.power, 1e-9);
+                                           inc.modes, instance.power(), 1e-9);
     EXPECT_TRUE(cert.holds) << "alpha=" << alpha;
     EXPECT_NEAR(cert.certified, std::pow(1.5, alpha - 1.0), 1e-6);
   }

@@ -120,7 +120,7 @@ TEST_P(ModelOrdering, TheChainOfDominanceHolds) {
 
   // The CONT-ROUND certificate (Thm 5 / Prop 1) holds.
   const auto cert = rc::certify_round_up(round.solution, round.relaxation,
-                                         modes, instance.power, 1e-9);
+                                         modes, instance.power(), 1e-9);
   EXPECT_TRUE(cert.holds) << "measured " << cert.measured << " certified "
                           << cert.certified;
 }
@@ -160,7 +160,7 @@ TEST_P(ExponentSweep, OrderingAndCertificatesForGeneralAlpha) {
   EXPECT_LE(cont.energy, vdd.solution.energy * (1.0 + 1e-6));
   EXPECT_LE(vdd.solution.energy, round.solution.energy * (1.0 + 1e-6));
   const auto cert = rc::certify_round_up(round.solution, round.relaxation,
-                                         inc.modes, instance.power, 1e-9);
+                                         inc.modes, instance.power(), 1e-9);
   EXPECT_TRUE(cert.holds) << "alpha " << alpha;
 }
 

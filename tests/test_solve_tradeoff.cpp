@@ -160,7 +160,8 @@ TEST(Tradeoff, DeadlineForEnergyInvertsTheCurve) {
 
   // Pick a target deadline, read its optimal energy, then invert.
   const double target = 1.7 * d_min;
-  rc::Instance at{instance.exec_graph, target, instance.power};
+  rc::Instance at{instance.exec_graph, target, instance.platform,
+                  instance.assignment};
   const auto reference = rc::solve(at, cont);
   ASSERT_TRUE(reference.feasible);
 

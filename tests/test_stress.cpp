@@ -61,7 +61,7 @@ void expect_perturbation_optimal(const rc::Instance& instance,
     for (rg::NodeId v = 0; v < g.num_nodes(); ++v) {
       const double w = g.weight(v);
       if (w == 0.0) continue;
-      energy += instance.power.task_energy(w, w / durations[v]);
+      energy += instance.power().task_energy(w, w / durations[v]);
     }
     EXPECT_GE(energy, solution.energy - slack_tolerance)
         << "perturbation " << trial << " improved the 'optimal' energy";

@@ -30,7 +30,7 @@ void expect_valid(const rc::Instance& instance, const rm::VddHoppingModel& model
   ASSERT_TRUE(s.uses_profiles());
   rs::validate_profiles(instance.exec_graph, s.profiles, rm::EnergyModel{model},
                         instance.deadline, 1e-6);
-  EXPECT_NEAR(s.energy, rs::total_energy(s.profiles, instance.power),
+  EXPECT_NEAR(s.energy, rs::total_energy(s.profiles, instance.power()),
               1e-6 * (1.0 + s.energy));
 }
 

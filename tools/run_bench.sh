@@ -16,6 +16,14 @@
 # prior run's artifact there), a wall-seconds / instances-per-second diff
 # table is printed after the runs. The diff is informational only: the
 # script fails on bench crashes, never on regressions.
+#
+# Sustained-regression soft alert: a bench whose best inst/s drops more
+# than RECLAIM_BENCH_ALERT_PCT percent (default 10) vs the baseline gets a
+# "rate_regressed" flag recorded in its BENCH_*.json; when the *baseline*
+# already carried that flag — i.e. the regression held two runs in a row
+# through the artifact chain — a "::warning::" soft alert is printed (so
+# GitHub Actions annotates the run). Still informational: the exit code
+# never changes.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -113,6 +121,8 @@ def load(directory):
             "seconds": payload.get("wall_seconds"),
             "inst_s": max(rates) if rates else None,
             "commit": payload.get("commit", "?"),
+            "rate_regressed": bool(payload.get("rate_regressed", False)),
+            "path": path,
         }
     return runs
 
@@ -143,6 +153,28 @@ widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
 for row in rows:
     print("  " + " | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
 print("[perf diff] informational only: regressions never fail the run")
+
+# Sustained-regression soft alert: flag this run's inst/s drops beyond the
+# threshold in the recorded JSON (the next run's baseline), and alert when
+# the baseline was already flagged — two consecutive regressed runs.
+threshold = float(os.environ.get("RECLAIM_BENCH_ALERT_PCT", "10"))
+for name in sorted(now):
+    p, n = prev.get(name, {}), now[name]
+    p_rate, n_rate = p.get("inst_s"), n.get("inst_s")
+    regressed = (p_rate not in (None, 0) and n_rate is not None
+                 and 100.0 * (p_rate - n_rate) / p_rate > threshold)
+    try:
+        payload = json.load(open(n["path"], encoding="utf-8"))
+        payload["rate_regressed"] = regressed
+        json.dump(payload, open(n["path"], "w"), indent=2)
+    except (OSError, ValueError):
+        continue
+    if regressed and p.get("rate_regressed"):
+        print(f"::warning::{name}: inst/s regressed more than "
+              f"{threshold:.0f}% two runs in a row "
+              f"({p_rate:.1f} -> {n_rate:.1f} vs the previous baseline)")
+        print(f"[perf alert] sustained regression in {name} "
+              f"(soft alert only; the run still passes)")
 EOF
 fi
 
