@@ -25,9 +25,9 @@
 // semantics. It is additionally exact for the *true* leaky objective only
 // when the weighted tasks also share one P_stat; with mixed P_stat the
 // deadline-bound chain should shift duration toward the low-leakage
-// processors, a gap the reduction deliberately leaves to the open
-// exact-leaky-solver item (DESIGN.md, "Heterogeneous platforms").
-// Otherwise the dispatcher falls back to the floored numeric solver.
+// processors, the gap LeakageMode::kExact closes (DESIGN.md, "Exact
+// leaky solver"). Otherwise the dispatcher falls back to the floored
+// numeric solver.
 #pragma once
 
 #include <optional>

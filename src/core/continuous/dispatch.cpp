@@ -33,6 +33,34 @@ Solution numeric(const Instance& instance, const model::ContinuousModel& model,
   return solve_numeric(instance, model, numeric_options);
 }
 
+/// Per-task effective bounds of the s_crit reduction, shared by the
+/// heterogeneous route and the exact-leaky route: cap_v folds the model's
+/// global cap with the processor cap, and weighted tasks get the floor
+/// max(s_min, min(s_crit_v, cap_v)). Zero-weight tasks stay floorless —
+/// they run in zero time at no speed, and a nonzero floor could exceed a
+/// slow processor's cap and trip the numeric solver's validation. Returns
+/// false when the requested s_min exceeds a weighted task's cap (Theorem
+/// 5's rounding floor vs a slower processor): the *restricted* relaxation
+/// has no admissible speed there, and callers report infeasible rather
+/// than throwing, so CONT-ROUND degrades gracefully and an engine batch is
+/// never aborted by one capped instance.
+bool effective_bounds(const Instance& instance,
+                      const model::ContinuousModel& model, double s_min,
+                      std::vector<double>& caps, std::vector<double>& floors) {
+  const auto& g = instance.exec_graph;
+  const std::size_t n = g.num_nodes();
+  caps.assign(n, model.s_max);
+  floors.assign(n, 0.0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    caps[v] = std::min(model.s_max, instance.cap_of(v));
+    if (g.weight(v) == 0.0) continue;
+    if (s_min > caps[v]) return false;
+    floors[v] = std::max(
+        s_min, std::min(instance.power_of(v).critical_speed(), caps[v]));
+  }
+  return true;
+}
+
 /// Heterogeneous route: per-task effective caps (processor cap folded with
 /// the model's global one) and s_crit floors threaded into the solvers.
 /// Single tasks and single-exponent chains keep their closed forms; every
@@ -45,25 +73,10 @@ Solution solve_hetero(const Instance& instance,
   const auto& g = instance.exec_graph;
   const std::size_t n = g.num_nodes();
 
-  std::vector<double> caps(n, model.s_max);
-  std::vector<double> floors(n, 0.0);
-  for (graph::NodeId v = 0; v < n; ++v) {
-    caps[v] = std::min(model.s_max, instance.cap_of(v));
-    // Floors only bind weighted tasks — a zero-weight task runs in zero
-    // time at no speed, so it gets no floor (a nonzero one could exceed
-    // a slow processor's cap and trip the numeric solver's validation).
-    if (g.weight(v) == 0.0) continue;
-    // A requested floor above a weighted task's cap (Theorem 5's rounding
-    // floor vs a slower processor) means the *restricted* relaxation has
-    // no admissible speed for that task: report infeasible rather than
-    // throwing, so CONT-ROUND degrades gracefully and an engine batch is
-    // never aborted by one capped instance.
-    if (options.s_min > caps[v]) {
-      return infeasible_solution("numeric-barrier");
-    }
-    floors[v] = std::max(
-        options.s_min,
-        std::min(instance.power_of(v).critical_speed(), caps[v]));
+  std::vector<double> caps;
+  std::vector<double> floors;
+  if (!effective_bounds(instance, model, options.s_min, caps, floors)) {
+    return infeasible_solution("numeric-barrier");
   }
 
   if (!options.force_numeric) {
@@ -92,11 +105,111 @@ Solution solve_hetero(const Instance& instance,
   return solve_numeric(instance, model, numeric_options);
 }
 
+/// True when the s_crit reduction provably attains the true leaky optimum
+/// on this instance (DESIGN.md, "When the reduction is exact"), so the
+/// exact route can skip its second solve and return the reduction's
+/// solution bit-identically:
+///   - no weighted task has static power (the floor is 0),
+///   - a single task (its own floor and cap apply directly),
+///   - a chain whose weighted tasks share one alpha, P_stat and effective
+///     cap: once the deadline binds, sum d_v = D makes the leakage term
+///     allocation-independent; otherwise every task sits at the shared
+///     s_crit (or cap), its per-task global minimum.
+/// Mixed-P_stat chains and slack-bearing parallel shapes are exactly the
+/// documented not-exact class and return false.
+bool reduction_exact_a_priori(const Instance& instance,
+                              const model::ContinuousModel& model,
+                              const ContinuousOptions& options) {
+  const auto& g = instance.exec_graph;
+  const std::size_t n = g.num_nodes();
+  bool any_static = false;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (g.weight(v) > 0.0 && instance.power_of(v).has_static_power()) {
+      any_static = true;
+      break;
+    }
+  }
+  if (!any_static) return true;
+  if (n <= 1) return true;
+
+  graph::GraphShape shape = graph::GraphShape::kGeneral;
+  if (options.shape_hint) {
+    shape = *options.shape_hint;
+  } else if (graph::is_chain(g)) {
+    shape = graph::GraphShape::kChain;
+  }
+  if (shape != graph::GraphShape::kChain &&
+      shape != graph::GraphShape::kSingleTask) {
+    return false;
+  }
+
+  bool first = true;
+  double alpha = 0.0;
+  double p_static = 0.0;
+  double cap = 0.0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (g.weight(v) == 0.0) continue;
+    const auto& power = instance.power_of(v);
+    const double task_cap = std::min(model.s_max, instance.cap_of(v));
+    if (first) {
+      alpha = power.alpha();
+      p_static = power.p_static();
+      cap = task_cap;
+      first = false;
+    } else if (power.alpha() != alpha || power.p_static() != p_static ||
+               task_cap != cap) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// LeakageMode::kExact: solve the reduction, and unless it is provably
+/// exact on this instance also run the numeric barrier solver on the true
+/// duration-charged objective, adopting its answer only when it clearly
+/// beats the reduction. "Clearly" means beyond barrier noise (a multiple
+/// of the duality-gap target): instances where the reduction is already
+/// optimal — but only detectably so a posteriori, e.g. floors binding
+/// everywhere — keep the reduction's solution bit-identically, and the
+/// exact route's energy can never exceed the reduction's.
+Solution solve_exact_leaky(const Instance& instance,
+                           const model::ContinuousModel& model,
+                           const ContinuousOptions& options) {
+  ContinuousOptions reduction_options = options;
+  reduction_options.leakage = LeakageMode::kReduction;
+  Solution reduction = solve_continuous(instance, model, reduction_options);
+  if (reduction_exact_a_priori(instance, model, options)) return reduction;
+  // Both modes share one feasible set (same deadline, caps and floors), so
+  // an infeasible reduction settles the exact question too.
+  if (!reduction.feasible) return reduction;
+
+  std::vector<double> caps;
+  std::vector<double> floors;
+  if (!effective_bounds(instance, model, options.s_min, caps, floors)) {
+    return reduction;  // unreachable: the reduction reported it infeasible
+  }
+  NumericOptions numeric_options;
+  numeric_options.rel_gap = options.rel_gap;
+  numeric_options.exact_leakage = true;
+  numeric_options.s_max_per_task = std::move(caps);
+  numeric_options.s_min_per_task = std::move(floors);
+  Solution exact = solve_numeric(instance, model, numeric_options);
+
+  const double switch_tol = std::max(1e-7, 10.0 * options.rel_gap);
+  if (exact.feasible && exact.energy < reduction.energy * (1.0 - switch_tol)) {
+    return exact;
+  }
+  return reduction;
+}
+
 }  // namespace
 
 Solution solve_continuous(const Instance& instance,
                           const model::ContinuousModel& original_model,
                           const ContinuousOptions& options) {
+  if (options.leakage == LeakageMode::kExact) {
+    return solve_exact_leaky(instance, original_model, options);
+  }
   const auto& g = instance.exec_graph;
   if (!instance.homogeneous_tasks())
     return solve_hetero(instance, original_model, options);

@@ -20,6 +20,14 @@
 // their closed forms where exact, everything else runs the numeric
 // barrier solver with per-task bounds (DESIGN.md, "Heterogeneous
 // platforms").
+//
+// LeakageMode::kExact upgrades the reduction to the exact leaky solver:
+// instances where the reduction is provably optimal (no static power,
+// single tasks, uniform-P_stat/alpha/cap chains) delegate to it and
+// return its solution bit-identically; everything else additionally runs
+// the numeric barrier solver on the true duration-charged objective
+// sum_v (P_stat_v d_v + w_v^alpha_v / d_v^(alpha_v-1)) and keeps the
+// cheaper answer (DESIGN.md, "Exact leaky solver").
 #pragma once
 
 #include <memory>
@@ -36,6 +44,12 @@ struct ContinuousOptions {
   double s_min = 0.0;      ///< optional speed floor (Theorem 5 relaxation)
   double rel_gap = 1e-9;   ///< numeric-solver duality gap
   bool force_numeric = false;  ///< bypass closed forms (for cross-checks)
+  /// Leakage handling: the s_crit reduction (default), or the exact
+  /// duration-charged objective, which solves the true busy energy through
+  /// the numeric barrier solver and returns the cheaper of the two
+  /// answers — bit-identical to the reduction wherever that is provably
+  /// exact (DESIGN.md, "Exact leaky solver").
+  LeakageMode leakage = LeakageMode::kReduction;
   /// Pre-computed classification of the execution graph. The engine's
   /// dispatch cache classifies each topology once and passes the result
   /// here so repeated shapes skip the structural analysis entirely.

@@ -20,19 +20,24 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// dynamic exponent of the processor executing task i (one shared value on
 /// a homogeneous platform). Each term is convex in d_i on d_i > 0, so the
 /// separable sum stays a valid barrier objective under heterogeneous
-/// exponents. Deliberately the *dynamic* objective even under a
+/// exponents. By default the *dynamic* objective even under a
 /// leakage-aware power model: leakage enters through the s_crit speed
 /// floors plus energy bookkeeping (the s_crit reduction, DESIGN.md),
-/// keeping all solver families consistent.
+/// keeping all solver families consistent. With exact_leakage the linear
+/// duration charge P_stat_i * d_i joins the objective, making it the true
+/// busy energy (statics_ holds zeros otherwise, so the reduction path adds
+/// exactly 0.0 everywhere and stays bit-identical).
 class EnergyObjective final : public opt::ConvexObjective {
  public:
-  explicit EnergyObjective(const Instance& instance)
+  EnergyObjective(const Instance& instance, bool exact_leakage)
       : n_(instance.exec_graph.num_nodes()) {
     weights_.reserve(n_);
     alphas_.reserve(n_);
+    statics_.reserve(n_);
     for (graph::NodeId v = 0; v < n_; ++v) {
       weights_.push_back(instance.exec_graph.weight(v));
       alphas_.push_back(instance.power_of(v).alpha());
+      statics_.push_back(exact_leakage ? instance.power_of(v).p_static() : 0.0);
     }
   }
 
@@ -43,7 +48,8 @@ class EnergyObjective final : public opt::ConvexObjective {
       if (w == 0.0) continue;
       const double d = x[n_ + i];
       if (d <= 0.0) return kInf;
-      e += std::pow(w, alphas_[i]) / std::pow(d, alphas_[i] - 1.0);
+      e += std::pow(w, alphas_[i]) / std::pow(d, alphas_[i] - 1.0) +
+           statics_[i] * d;
     }
     return e;
   }
@@ -54,7 +60,8 @@ class EnergyObjective final : public opt::ConvexObjective {
       if (w == 0.0) continue;
       const double d = x[n_ + i];
       const double alpha = alphas_[i];
-      grad[n_ + i] += -(alpha - 1.0) * std::pow(w, alpha) / std::pow(d, alpha);
+      grad[n_ + i] += -(alpha - 1.0) * std::pow(w, alpha) / std::pow(d, alpha) +
+                      statics_[i];
     }
   }
 
@@ -73,6 +80,7 @@ class EnergyObjective final : public opt::ConvexObjective {
   std::size_t n_;
   std::vector<double> weights_;
   std::vector<double> alphas_;
+  std::vector<double> statics_;
 };
 
 }  // namespace
@@ -85,7 +93,8 @@ Solution solve_numeric(const Instance& instance,
   const double deadline = instance.deadline;
   const double s_min = options.s_min;
   const bool heterogeneous = !options.s_max_per_task.empty();
-  const std::string method = "numeric-barrier";
+  const std::string method =
+      options.exact_leakage ? "numeric-exact-leaky" : "numeric-barrier";
 
   util::require(s_min >= 0.0 && s_min <= model.s_max, "invalid speed range");
   if (heterogeneous) {
@@ -261,7 +270,7 @@ Solution solve_numeric(const Instance& instance,
     }
   }
 
-  const EnergyObjective objective(instance);
+  const EnergyObjective objective(instance, options.exact_leakage);
   opt::BarrierOptions barrier_options;
   barrier_options.rel_gap = options.rel_gap;
   const opt::BarrierResult result =

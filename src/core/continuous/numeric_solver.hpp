@@ -38,6 +38,20 @@ struct NumericOptions {
   /// within tolerance of its cap pins the task: the constraint is dropped
   /// and the extracted speed clamped instead.
   std::vector<double> s_min_per_task;
+
+  /// Charge static power on task durations inside the objective, turning
+  /// it into the true platform busy energy
+  ///
+  ///   sum_{w_v > 0} (P_stat_v * d_v + w_v^alpha_v / d_v^(alpha_v-1))
+  ///
+  /// (LeakageMode::kExact; DESIGN.md, "Exact leaky solver"). Each linear
+  /// term keeps the objective smooth convex, so the barrier machinery is
+  /// unchanged. Any s_crit floors remain valid cuts: the per-task busy
+  /// cost increases below s_crit while slowing down only tightens the
+  /// scheduling constraints, so no optimum runs under the floor. With
+  /// every P_stat zero the added terms are exactly 0.0 — the pure-dynamic
+  /// path stays bit-identical.
+  bool exact_leakage = false;
 };
 
 /// Solves any acyclic instance; detects infeasibility exactly (deadline

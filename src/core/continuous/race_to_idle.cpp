@@ -72,16 +72,26 @@ RaceToIdleResult solve_race_to_idle(const Instance& instance,
   result.crawl.idle = crawl_eval.idle;
   result.chosen = result.crawl;
 
-  // Cap the speed-up: never past the first task's cap, and never past the
-  // point where the guaranteed busy increase (the dynamic part alone grows
-  // like k^(alpha-1)) already exceeds everything the idle charge could
-  // possibly save. Per-task exponents use the smallest alpha for the worth
-  // bound — the slowest-growing dynamic term — which can only widen the
-  // searched range.
+  // Cap the speed-up search: never past the point where *every* task is
+  // pinned at its cap (evaluate_scaled clamps per task, so a cap-pinned
+  // task simply stops speeding up while the rest keep racing — a
+  // big.LITTLE platform's floor-pinned little cores must not freeze the
+  // big cores' race), and — when uncapped tasks exist — never past the
+  // point where their guaranteed busy increase (the uncapped dynamic part
+  // alone grows like k^(alpha-1)) already exceeds everything the idle
+  // charge could possibly save. The worth bound sums the dynamic term
+  // over *uncapped* tasks only: a capped task's dynamic cost stops
+  // growing once it pins, so counting it would overstate the guaranteed
+  // increase and could truncate (or entirely skip) a profitable race —
+  // e.g. a heavy task already sitting at its cap contributes nothing to
+  // the increase at any k. Per-task exponents use the smallest alpha —
+  // the slowest-growing dynamic term. Both choices can only widen the
+  // searched range, never unsoundly shrink it.
   double top = 0.0;
-  double dynamic_busy = 0.0;
+  double dynamic_uncapped = 0.0;
   double alpha_min = kInf;
-  double k_cap = kInf;
+  double k_pin = 1.0;
+  bool any_uncapped = false;
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     const double w = g.weight(v);
     if (w == 0.0) continue;
@@ -89,21 +99,28 @@ RaceToIdleResult solve_race_to_idle(const Instance& instance,
     const double alpha = instance.power_of(v).alpha();
     top = std::max(top, speed);
     alpha_min = std::min(alpha_min, alpha);
-    dynamic_busy += w * std::pow(speed, alpha - 1.0);
     const double cap = std::min(model.s_max, instance.cap_of(v));
-    if (cap != kInf && speed > 0.0) k_cap = std::min(k_cap, cap / speed);
+    if (cap == kInf) {
+      any_uncapped = true;
+      dynamic_uncapped += w * std::pow(speed, alpha - 1.0);
+    } else if (speed > 0.0) {
+      k_pin = std::max(k_pin, cap / speed);
+    }
   }
-  if (top <= 0.0 || dynamic_busy <= 0.0 || crawl_eval.idle <= 0.0) {
+  if (top <= 0.0 || crawl_eval.idle <= 0.0) {
     return result;  // nothing to run or nothing to save
   }
   // Guaranteed net busy increase at factor k is at least
-  // dynamic * (k^(alpha_min-1) - 1) - static_share (the leakage share can
-  // shrink by at most itself), so past k_worth the race cannot recoup the
-  // idle charge even if it drove it to zero.
-  const double k_worth =
-      std::pow((crawl_eval.busy + crawl_eval.idle) / dynamic_busy,
-               1.0 / (alpha_min - 1.0));
-  const double k_hi = std::min(k_cap, k_worth);
+  // dynamic_uncapped * (k^(alpha_min-1) - 1) - static_share (the leakage
+  // share can shrink by at most itself), so past k_worth the race cannot
+  // recoup the idle charge even if it drove it to zero. On a fully
+  // capped platform the schedule stops changing beyond k_pin, so the
+  // search is bounded there instead.
+  double k_hi = k_pin;
+  if (any_uncapped && dynamic_uncapped > 0.0) {
+    k_hi = std::pow((crawl_eval.busy + crawl_eval.idle) / dynamic_uncapped,
+                    1.0 / (alpha_min - 1.0));
+  }
   if (!(k_hi > 1.0)) return result;
 
   // Log-spaced grid over [1, k_hi], then golden-section refinement around

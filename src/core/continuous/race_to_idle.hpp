@@ -48,11 +48,14 @@ struct RaceToIdleResult {
 };
 
 /// Solves the instance with the s_crit-floored continuous solver, then
-/// races: scales all crawl speeds by a common factor k in
-/// [1, min over tasks of cap/speed] (each task's cap folds the model's
-/// global s_max with its processor's own limit) and picks the k
-/// minimizing busy + idle energy over the window under `mapping`, with
-/// idle gaps charged under each processor's own sleep spec. With no
+/// races: scales all crawl speeds by a common factor k >= 1, clamping
+/// each task at its own cap (the model's global s_max folded with its
+/// processor's limit), and picks the k minimizing busy + idle energy over
+/// the window under `mapping`, with idle gaps charged under each
+/// processor's own sleep spec. Cap-pinned tasks simply stop speeding up
+/// while the rest keep racing — a big.LITTLE platform's floor-pinned
+/// little cores never freeze the big cores' race; the search only ends
+/// where *every* task is pinned (or racing provably cannot pay). With no
 /// sleep spec anywhere on the platform (or an infeasible instance) the
 /// crawl is returned unchanged — bit-identical to solve_continuous.
 [[nodiscard]] RaceToIdleResult solve_race_to_idle(

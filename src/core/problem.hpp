@@ -39,6 +39,24 @@ inline constexpr double kFeasibilityRelTol = sched::kScheduleRelTol;
   return needed <= s_max * (1.0 + kFeasibilityRelTol);
 }
 
+/// How the continuous solvers treat static (leakage) power.
+///
+/// kReduction is the s_crit reduction (DESIGN.md): run the pure-dynamic
+/// machinery with per-task speed floors raised to the critical speed and
+/// account leakage afterwards. Exact for uniform-P_stat chains, binding
+/// floors, P_stat = 0 and Vdd-Hopping; provably suboptimal for parallel
+/// branches with slack and for deadline-bound chains spanning processors
+/// with different P_stat. kExact additionally minimizes the true
+/// duration-charged busy energy sum_v (P_stat_v d_v + w_v^alpha_v /
+/// d_v^(alpha_v - 1)) through the numeric barrier solver and returns the
+/// cheaper of the two (DESIGN.md, "Exact leaky solver"); on instances
+/// where the reduction is provably exact it returns the reduction's
+/// solution bit-identically.
+enum class LeakageMode {
+  kReduction,
+  kExact,
+};
+
 /// An instance of MinEnergy(G, D): the *execution* graph (original
 /// precedence edges plus same-processor chaining edges, see
 /// sched::build_execution_graph), the deadline, the platform (one power

@@ -24,6 +24,12 @@ struct SolveOptions {
   /// Speed floor for the Continuous model (Theorem 5's restricted
   /// relaxation); 0 means unrestricted.
   double continuous_s_min = 0.0;
+  /// Static-power handling of the Continuous model: the s_crit reduction
+  /// (default) or the exact duration-charged solver (DESIGN.md, "Exact
+  /// leaky solver"). Mode-based models are unaffected — branch-and-bound
+  /// and the Vdd LP already charge the true leaky cost of every mode, and
+  /// CONT-ROUND's rounding analysis is a reduction-semantics bound.
+  LeakageMode leakage = LeakageMode::kReduction;
 };
 
 /// Solves the instance under `energy_model`. The returned Solution's

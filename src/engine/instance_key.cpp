@@ -119,6 +119,10 @@ std::string instance_key(const core::Instance& instance,
   put_u64(key, options.exact_discrete_up_to);
   put_double(key, options.rel_gap);
   put_double(key, options.continuous_s_min);
+  // One byte per leakage mode: Exact and Reduction answers differ whenever
+  // the reduction is suboptimal, so aliasing them would serve the wrong
+  // cached solution (DESIGN.md, "Memo-key fields").
+  key.push_back(options.leakage == core::LeakageMode::kExact ? 'X' : 'R');
   return key;
 }
 

@@ -99,6 +99,7 @@ core::Solution ReclaimEngine::dispatch(const core::Instance& instance,
           core::ContinuousOptions continuous_options;
           continuous_options.rel_gap = options.rel_gap;
           continuous_options.s_min = options.continuous_s_min;
+          continuous_options.leakage = options.leakage;
           continuous_options.shape_hint = shape;
           continuous_options.sp_hint = entry.sp_tree;
           return core::solve_continuous(instance, m, continuous_options);
@@ -175,6 +176,7 @@ core::Solution ReclaimEngine::solve_mapped(const MappedInstance& mapped,
   core::RaceToIdleOptions race;
   race.continuous.rel_gap = options.rel_gap;
   race.continuous.s_min = options.continuous_s_min;
+  race.continuous.leakage = options.leakage;
   const ShapeEntry entry = shape_of(mapped.instance.exec_graph);
   race.continuous.shape_hint = entry.shape;
   race.continuous.sp_hint = entry.sp_tree;

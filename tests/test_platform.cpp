@@ -555,6 +555,98 @@ TEST(Platform, EngineMappedBatchRaceRouteAndStats) {
             0u);
 }
 
+TEST(Platform, RaceToIdleRacesPastCapPinnedTasks) {
+  // big.LITTLE regression: A (w = 2) alone on the uncapped big core; B, C
+  // (w = 0.5 each) on the little core whose cap 1.0 equals s_crit (P_stat
+  // = 2, alpha = 3), so both its tasks are floor-pinned at the cap. The
+  // old search stopped at min over tasks of cap/speed = 1 — any pinned
+  // task froze the whole race. Pinned tasks must clamp while A races:
+  // with idle 3 / sleep 0 / wake 6 the platform energy at factor k is
+  //   E(k) = 2 (2/k + k^2) + 3 + 6 + 3 (2/k - 0.5) + 6
+  //        = 10/k + 2 k^2 + 13.5
+  // (A's busy cost, B+C pinned busy 3, P0 tail sleeps for 6, P1's
+  // interior gap 2/k - 0.5 idles below break-even 2, P1 tail sleeps),
+  // minimized at k* = 2.5^(1/3) ~ 1.357 with E ~ 24.55 < 25.5 = E(1).
+  rg::Digraph app;
+  const auto a = app.add_node(2.0, "A");
+  const auto b = app.add_node(0.5, "B");
+  const auto c = app.add_node(0.5, "C");
+  app.add_edge(a, c);
+  rs::Mapping mapping(2);
+  mapping.assign(0, a);
+  mapping.assign(1, b);
+  mapping.assign(1, c);
+  const auto exec = rs::build_execution_graph(app, mapping);
+  const auto pm = rm::make_power_model(3.0, 2.0,  // s_crit = 1
+                                       rm::make_sleep_spec(3.0, 0.0, 6.0));
+  const rm::Platform platform({{pm, kInf}, {pm, 1.0}});
+  const auto instance = rc::make_instance(exec, 6.0, platform, mapping);
+
+  const auto r =
+      rc::solve_race_to_idle(instance, rm::ContinuousModel{kInf}, mapping);
+  ASSERT_TRUE(r.solution.feasible);
+  EXPECT_NEAR(r.crawl.total(), 25.5, 1e-6);
+  EXPECT_TRUE(r.raced);  // the little core's pinned tasks no longer freeze it
+  const double k_star = std::cbrt(2.5);
+  EXPECT_NEAR(r.speedup, k_star, 5e-3);
+  EXPECT_NEAR(r.chosen.total(),
+              10.0 / k_star + 2.0 * k_star * k_star + 13.5, 1e-4);
+  EXPECT_LT(r.chosen.total(), r.crawl.total());
+
+  // A raced, the pinned tasks clamped at their cap.
+  EXPECT_NEAR(r.solution.speeds[a], k_star, 5e-3);
+  EXPECT_DOUBLE_EQ(r.solution.speeds[b], 1.0);
+  EXPECT_DOUBLE_EQ(r.solution.speeds[c], 1.0);
+
+  // The raced schedule stays feasible with exact busy bookkeeping.
+  rs::validate_constant_speeds(instance.exec_graph, r.solution.speeds,
+                               rm::ContinuousModel{kInf}, instance.deadline);
+  EXPECT_NEAR(rc::recompute_energy(instance, r.solution), r.solution.energy,
+              1e-9 * r.solution.energy);
+}
+
+TEST(Platform, RaceWorthBoundIgnoresPinnedTasks) {
+  // A heavy task pinned at its cap contributes nothing to the busy
+  // increase at any speed-up, so it must not feed the k_worth bound:
+  // summing it would truncate the search below the true optimum. H
+  // (w = 200, cap 1.0) dominates the platform's dynamic energy; the true
+  // optimum for racing A is k* = 16^(1/3) ~ 2.52, while the old
+  // all-tasks bound sqrt((busy+idle)/dynamic) ~ 2.12 cut the search
+  // short. With idle 30 / sleep 0 / wake 100 (break-even 10/3) and
+  // D = 202 the platform energy at factor k is
+  //   E(k) = 2 k^2 + 64/k + 848
+  // (A's busy 2(2/k + k^2); B+C busy 3; H busy 600; P0/P1 tails sleep
+  // for 100 each; P1's interior gap 2/k - 0.5 idles at 30; P2's tail 2
+  // idles for 60).
+  rg::Digraph app;
+  const auto a = app.add_node(2.0, "A");
+  const auto b = app.add_node(0.5, "B");
+  const auto c = app.add_node(0.5, "C");
+  const auto h = app.add_node(200.0, "H");
+  app.add_edge(a, c);
+  rs::Mapping mapping(3);
+  mapping.assign(0, a);
+  mapping.assign(1, b);
+  mapping.assign(1, c);
+  mapping.assign(2, h);
+  const auto exec = rs::build_execution_graph(app, mapping);
+  const auto pm = rm::make_power_model(3.0, 2.0,  // s_crit = 1
+                                       rm::make_sleep_spec(30.0, 0.0, 100.0));
+  const rm::Platform platform({{pm, kInf}, {pm, 1.0}, {pm, 1.0}});
+  const auto instance = rc::make_instance(exec, 202.0, platform, mapping);
+
+  const auto r =
+      rc::solve_race_to_idle(instance, rm::ContinuousModel{kInf}, mapping);
+  ASSERT_TRUE(r.solution.feasible);
+  EXPECT_NEAR(r.crawl.total(), 914.0, 1e-4);
+  EXPECT_TRUE(r.raced);
+  const double k_star = std::cbrt(16.0);
+  EXPECT_NEAR(r.speedup, k_star, 1e-2);
+  EXPECT_NEAR(r.chosen.total(), 2.0 * k_star * k_star + 64.0 / k_star + 848.0,
+              1e-2);
+  EXPECT_DOUBLE_EQ(r.solution.speeds[h], 1.0);  // still pinned at its cap
+}
+
 TEST(Platform, EngineMemoNeverAliasesDistinctPlatforms) {
   auto g = rg::make_chain({1.0, 1.0});
   rs::Mapping mapping(2);
