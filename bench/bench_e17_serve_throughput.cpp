@@ -1,0 +1,166 @@
+// E17 — serve-protocol throughput: instances/second through the full
+// reclaim_serve stack (framing + wire codec + per-connection reader +
+// engine submit) for 1, 2 and 4 concurrent clients over socketpairs,
+// entirely in-process.
+//
+// Two regimes per client count:
+//   (a) cold — every request is a distinct instance; measures protocol +
+//       solve cost end to end.
+//   (b) steady state — the same workload resubmitted against the warm
+//       shared memo; measures the daemon's service rate once the cache
+//       holds the working set, and reports the cross-client hit rate
+//       (every client benefits from every other client's solves — the
+//       reason the daemon exists).
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "io/graph_io.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace reclaim;
+
+/// Mixed workload as wire-ready SOLVE bodies: chains (closed form),
+/// out-trees (tree DP), fork-join pipelines (SP algebra) and stencils
+/// (numeric barrier), `per_family` of each.
+std::vector<net::SolveRequest> wire_workload(std::size_t per_family,
+                                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<net::SolveRequest> requests;
+  auto add = [&requests](const graph::Digraph& g) {
+    net::SolveRequest request;
+    // Slack relative to the *execution* graph the server will build (one
+    // processor serializes everything), not the app graph's critical path.
+    const auto exec = sched::build_execution_graph(
+        g, sched::list_schedule(g, 1).mapping);
+    request.deadline = 1.4 * core::min_deadline(exec, 2.0);
+    request.model = model::ContinuousModel{2.0};
+    std::ostringstream text;
+    io::write_task_graph(text, g);
+    request.graph_text = text.str();
+    requests.push_back(std::move(request));
+  };
+  for (std::size_t k = 0; k < per_family; ++k) {
+    add(graph::make_chain(16 + k % 8, rng));
+    add(graph::make_random_out_tree(20 + k % 8, rng));
+    add(graph::make_fork_join_chain(3, 3 + k % 3, rng));
+    add(graph::make_stencil(4, 4 + k % 3, rng));
+  }
+  return requests;
+}
+
+/// One client: pipelines every request down its socket, then drains the
+/// responses (completion order). Returns the number of RESULT replies.
+std::size_t run_client(net::ServeClient& client,
+                       const std::vector<net::SolveRequest>& requests) {
+  std::thread sender([&] {
+    for (const auto& request : requests) (void)client.send_solve(request);
+  });
+  std::size_t results = 0;
+  for (std::size_t seen = 0; seen < requests.size(); ++seen) {
+    const auto reply = client.read_message();
+    util::require(reply.has_value(), "server closed mid-bench");
+    if (const auto* result = std::get_if<net::SolveResult>(&reply->body)) {
+      util::require(result->solution.feasible, "infeasible bench instance");
+      ++results;
+    } else {
+      throw NumericalError("unexpected reply in bench");
+    }
+  }
+  sender.join();
+  return results;
+}
+
+/// Serves `clients` concurrent connections (each its own socketpair and
+/// serve_stream thread), every client sending the full workload. Returns
+/// wall seconds.
+double run_round(net::ReclaimServer& server, std::size_t clients,
+                 const std::vector<net::SolveRequest>& requests) {
+  std::vector<std::thread> serve_threads;
+  std::vector<std::thread> client_threads;
+  std::vector<int> fds_to_close;
+  util::Timer timer;
+  for (std::size_t c = 0; c < clients; ++c) {
+    int pair[2];
+    util::require(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) == 0,
+                  "socketpair failed");
+    fds_to_close.insert(fds_to_close.end(), {pair[0], pair[1]});
+    serve_threads.emplace_back(
+        [&server, fd = pair[0]] { server.serve_stream(fd, fd); });
+    client_threads.emplace_back([fd = pair[1], &requests] {
+      auto client = net::ServeClient::from_fds(fd, fd);
+      (void)run_client(client, requests);
+      client.finish_sending();
+    });
+  }
+  for (auto& t : client_threads) t.join();
+  for (auto& t : serve_threads) t.join();
+  const double seconds = timer.seconds();
+  for (int fd : fds_to_close) ::close(fd);
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E17 serve throughput (reclaim_serve stack)",
+                "instances/second through framing + wire codec + shared "
+                "engine for 1/2/4 concurrent clients; steady state shows "
+                "the cross-client memo hit rate");
+
+  const auto workload = wire_workload(16, 1717);  // 64 distinct instances
+
+  util::Table table("Serve throughput over in-process socketpairs",
+                    {"clients", "instances", "regime", "seconds", "inst/s",
+                     "memo hit rate"});
+  for (const std::size_t clients : {1u, 2u, 4u}) {
+    net::ServerOptions options;
+    options.engine.threads = 4;
+    net::ReclaimServer server(options);
+
+    const auto round = [&](const char* regime) {
+      const double seconds = run_round(server, clients, workload);
+      const std::size_t n = clients * workload.size();
+      const net::StatsReply stats = server.stats();
+      table.add_row({util::Table::fmt(clients),
+                     util::Table::fmt(n), regime,
+                     util::Table::fmt(seconds, 4),
+                     util::Table::fmt(static_cast<double>(n) / seconds, 1),
+                     util::Table::fmt(100.0 * stats.hit_rate(), 1) + "%"});
+      return static_cast<double>(n) / seconds;
+    };
+
+    (void)round("cold");
+    const double steady = round("steady");
+    if (clients == 4) {
+      // The headline figure for the perf-trajectory diff: warm-cache
+      // service rate under the highest client count.
+      std::cout << util::Table::fmt(steady, 1) << " inst/s steady-state at "
+                << clients << " clients\n";
+    }
+  }
+  table.print(std::cout);
+
+  // Cross-client sharing, stated explicitly: with >= 2 clients the cold
+  // round already has hits (client B's instances were solved for A).
+  net::ServerOptions options;
+  options.engine.threads = 4;
+  net::ReclaimServer server(options);
+  (void)run_round(server, 2, workload);
+  const net::StatsReply stats = server.stats();
+  std::cout << "2-client cold round: " << stats.memo_hits << "/"
+            << stats.instances << " answered from the other client's solves ("
+            << util::Table::fmt(100.0 * stats.hit_rate(), 1) << "%)\n";
+  util::require(stats.memo_hits > 0,
+                "shared cache produced no cross-client hits");
+  return 0;
+}

@@ -121,7 +121,7 @@ std::string instance_key(const core::Instance& instance,
   put_double(key, options.continuous_s_min);
   // One byte per leakage mode: Exact and Reduction answers differ whenever
   // the reduction is suboptimal, so aliasing them would serve the wrong
-  // cached solution (DESIGN.md, "Memo-key fields").
+  // cached solution (docs/architecture.md, "Memo-key fields").
   key.push_back(options.leakage == core::LeakageMode::kExact ? 'X' : 'R');
   return key;
 }

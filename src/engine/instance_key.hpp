@@ -8,7 +8,7 @@
 //   - instance_key: topology + weights + deadline + the full platform
 //     (every processor's power model — kind, alpha, p_static, and the
 //     sleep spec's idle/sleep power and wake cost — plus its speed cap;
-//     see DESIGN.md, "Memo-key fields") + the task -> processor
+//     see docs/architecture.md, "Memo-key fields") + the task -> processor
 //     assignment + energy model + the solver options that affect the
 //     answer. Two instances share it exactly when a deterministic solver
 //     must return the same Solution, which is what the solution memo

@@ -28,7 +28,9 @@ std::size_t chunk_size(std::size_t n, std::size_t workers) {
 
 }  // namespace
 
-ReclaimEngine::ReclaimEngine(EngineOptions options) : options_(options) {
+ReclaimEngine::ReclaimEngine(EngineOptions options)
+    : options_(options),
+      memo_(CacheLimits{options.memo_capacity, options.memo_bytes}) {
   if (options_.threads != 1) {
     pool_ = std::make_unique<util::ThreadPool>(options_.threads);
   }
@@ -125,11 +127,9 @@ core::Solution ReclaimEngine::solve_routed(const core::Instance& instance,
   std::string key;
   if (options_.memoize) {
     key = instance_key(instance, model, options);
-    const std::shared_lock lock(memo_mutex_);
-    const auto it = memo_.find(key);
-    if (it != memo_.end()) {
+    if (auto cached = memo_.get(key)) {
       memo_hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      return *std::move(cached);
     }
   }
 
@@ -137,13 +137,10 @@ core::Solution ReclaimEngine::solve_routed(const core::Instance& instance,
   fresh_solves_.fetch_add(1, std::memory_order_relaxed);
 
   if (options_.memoize) {
-    const std::unique_lock lock(memo_mutex_);
     // Two workers may race on the same key; both computed the identical
-    // deterministic solution, so first-in wins harmlessly. A full memo
-    // stops caching (memo_capacity bounds a long-lived engine's memory).
-    if (options_.memo_capacity == 0 || memo_.size() < options_.memo_capacity) {
-      memo_.emplace(std::move(key), solution);
-    }
+    // deterministic solution, so the cache keeps first-in harmlessly and
+    // evicts from the LRU end when the entry/byte caps are exceeded.
+    memo_.put(key, solution);
   }
   return solution;
 }
@@ -165,11 +162,9 @@ core::Solution ReclaimEngine::solve_mapped(const MappedInstance& mapped,
   std::string key;
   if (options_.memoize) {
     key = mapped_instance_key(mapped.instance, mapped.mapping, model, options);
-    const std::shared_lock lock(memo_mutex_);
-    const auto it = memo_.find(key);
-    if (it != memo_.end()) {
+    if (auto cached = memo_.get(key)) {
       memo_hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      return *std::move(cached);
     }
   }
 
@@ -187,10 +182,7 @@ core::Solution ReclaimEngine::solve_mapped(const MappedInstance& mapped,
       .fetch_add(1, std::memory_order_relaxed);
 
   if (options_.memoize) {
-    const std::unique_lock lock(memo_mutex_);
-    if (options_.memo_capacity == 0 || memo_.size() < options_.memo_capacity) {
-      memo_.emplace(std::move(key), result.solution);
-    }
+    memo_.put(key, result.solution);
   }
   return result.solution;
 }
@@ -272,7 +264,34 @@ core::Solution ReclaimEngine::solve_one(const MappedInstance& instance,
   return solve_mapped(instance, model, options);
 }
 
+void ReclaimEngine::submit(
+    MappedInstance instance, model::EnergyModel model, core::SolveOptions options,
+    std::function<void(core::Solution, std::exception_ptr)> done) {
+  // Owning copies by value: the request outlives the caller's stack frame
+  // (a daemon's reader thread has long moved on when a worker picks this
+  // up).
+  auto run = [this, instance = std::move(instance), model = std::move(model),
+              options, done = std::move(done)] {
+    try {
+      core::Solution solution = solve_mapped(instance, model, options);
+      done(std::move(solution), nullptr);
+    } catch (...) {
+      done(core::Solution{}, std::current_exception());
+    }
+  };
+  if (pool_) {
+    // Fire-and-forget: completion is reported through `done`, never
+    // through the future (which would just re-wrap the exception).
+    (void)pool_->submit(std::move(run));
+  } else {
+    run();
+  }
+}
+
 EngineStats ReclaimEngine::stats() const {
+  // Safe to call mid-batch from any thread: the counters are relaxed
+  // atomics and the memo fields come from the cache's own lock, so the
+  // daemon's STATS endpoint samples a running engine live.
   EngineStats s;
   s.batches = batches_.load(std::memory_order_relaxed);
   s.instances = instances_.load(std::memory_order_relaxed);
@@ -281,11 +300,19 @@ EngineStats ReclaimEngine::stats() const {
   s.shape_hits = shape_hits_.load(std::memory_order_relaxed);
   s.raced_solves = raced_solves_.load(std::memory_order_relaxed);
   s.crawl_solves = crawl_solves_.load(std::memory_order_relaxed);
+  const CacheStats memo = memo_.stats();
+  s.memo_entries = memo.entries;
+  s.memo_bytes = memo.bytes;
+  s.memo_evictions = memo.evictions;
+  s.memo_oldest_age_s = memo.oldest_age_s;
+  {
+    const std::shared_lock lock(shape_mutex_);
+    s.shape_entries = shapes_.size();
+  }
   return s;
 }
 
 void ReclaimEngine::clear_caches() {
-  const std::unique_lock memo_lock(memo_mutex_);
   const std::unique_lock shape_lock(shape_mutex_);
   memo_.clear();
   shapes_.clear();

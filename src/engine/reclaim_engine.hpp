@@ -16,7 +16,10 @@
 //   - A solution memo keyed by a canonical instance encoding
 //     (engine/instance_key.hpp) returns identical sub-instances of a sweep
 //     without re-solving; memoized results are bit-identical to fresh ones
-//     because every solver is deterministic.
+//     because every solver is deterministic. The memo is an LRU cache
+//     under entry and byte caps (engine/solution_cache.hpp), so one
+//     engine can live for days under a solve daemon (tools/reclaim_serve)
+//     and be shared by every client that connects.
 //
 // Results are deterministic regardless of thread count: output slot i
 // always holds the solution of instance i, and routing depends only on
@@ -36,6 +39,7 @@
 
 #include "core/problem.hpp"
 #include "core/solve.hpp"
+#include "engine/solution_cache.hpp"
 #include "graph/classify.hpp"
 #include "graph/sp_tree.hpp"
 #include "model/energy_model.hpp"
@@ -50,9 +54,14 @@ struct EngineOptions {
   std::size_t threads = 0;
   /// Memoize solutions by canonical instance key.
   bool memoize = true;
-  /// Memo entry cap (0 = unbounded). Once full, fresh results are still
-  /// returned but no longer cached, bounding a long-lived engine's memory.
+  /// Memo entry cap (0 = unbounded). Once full the least-recently-used
+  /// entry is evicted, so a long-lived engine tracks its working set
+  /// instead of freezing on whatever filled the cache first.
   std::size_t memo_capacity = 1 << 16;
+  /// Memo byte cap (estimated footprint; 0 = unbounded). Evicts from the
+  /// cold end alongside the entry cap — the knob a daemon sets
+  /// (reclaim_serve --memo-mb) to bound resident memory.
+  std::size_t memo_bytes = 0;
   /// Cache graph::classify results (and SP decompositions) by topology key.
   bool reuse_shapes = true;
   /// Route Discrete/Incremental chains too large for branch-and-bound to
@@ -61,6 +70,10 @@ struct EngineOptions {
 };
 
 /// Cumulative counters since construction (or the last clear_caches()).
+/// Every counter is a relaxed atomic inside the engine, so stats() may be
+/// called from any thread *while a batch is in flight* — the daemon's
+/// STATS endpoint samples it live; the snapshot is cheap and never blocks
+/// the workers (the memo_* fields are read under the cache's own lock).
 struct EngineStats {
   std::size_t batches = 0;
   std::size_t instances = 0;     ///< total instances seen
@@ -72,6 +85,15 @@ struct EngineStats {
   /// where racing strictly won vs where the crawl stayed optimal.
   std::size_t raced_solves = 0;
   std::size_t crawl_solves = 0;
+  /// Long-lived memo surface (engine/solution_cache.hpp): live entries,
+  /// estimated bytes, LRU evictions so far, and how stale the coldest
+  /// entry is.
+  std::size_t memo_entries = 0;
+  std::size_t memo_bytes = 0;
+  std::size_t memo_evictions = 0;
+  double memo_oldest_age_s = 0.0;
+  /// Cached topology classifications (the shape/dispatch cache).
+  std::size_t shape_entries = 0;
 };
 
 /// A MinEnergy instance together with the mapping its execution graph was
@@ -121,6 +143,18 @@ class ReclaimEngine {
                                          const model::EnergyModel& model,
                                          const core::SolveOptions& options = {});
 
+  /// Asynchronous single-instance solve — the serve daemon's per-request
+  /// entry point. The solve runs on the engine's pool (inline on the
+  /// caller's thread when the engine is single-threaded) through the same
+  /// caches as the batch routes, and `done` is invoked exactly once from
+  /// whichever thread finished: with the solution on success, or with a
+  /// non-null exception_ptr when the instance is poisoned. Unlike
+  /// solve_batch there is no cross-request abort — one bad request must
+  /// not take down a daemon's other clients.
+  void submit(MappedInstance instance, model::EnergyModel model,
+              core::SolveOptions options,
+              std::function<void(core::Solution, std::exception_ptr)> done);
+
   /// Worker threads the engine dispatches onto (>= 1).
   [[nodiscard]] std::size_t threads() const noexcept;
 
@@ -158,8 +192,7 @@ class ReclaimEngine {
   EngineOptions options_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< null when threads == 1
 
-  mutable std::shared_mutex memo_mutex_;
-  std::unordered_map<std::string, core::Solution> memo_;
+  SolutionCache memo_;  ///< LRU solution memo, shared across clients
 
   mutable std::shared_mutex shape_mutex_;
   std::unordered_map<std::string, ShapeEntry> shapes_;

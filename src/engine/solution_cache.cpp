@@ -1,0 +1,98 @@
+#include "engine/solution_cache.hpp"
+
+#include <utility>
+
+namespace reclaim::engine {
+
+SolutionCache::SolutionCache(CacheLimits limits) : limits_(limits) {}
+
+std::size_t SolutionCache::entry_bytes(const Node& node) {
+  // Estimated, not measured: the heap knows the truth, but an estimate
+  // that counts every growing field keeps the byte cap meaningful. The
+  // key is charged twice-ish via the index's bucket overhead, folded
+  // into the fixed per-entry constant.
+  constexpr std::size_t kPerEntryOverhead =
+      sizeof(Node) + 64;  // list node + index bucket + allocator slack
+  std::size_t bytes = kPerEntryOverhead + node.key.size() +
+                      node.solution.method.size() +
+                      node.solution.speeds.size() * sizeof(double);
+  for (const auto& profile : node.solution.profiles) {
+    bytes += sizeof(profile) +
+             profile.segments.size() * sizeof(profile.segments[0]);
+  }
+  return bytes;
+}
+
+std::optional<core::Solution> SolutionCache::get(const std::string& key) {
+  const std::lock_guard lock(mutex_);
+  const auto it = index_.find(std::string_view(key));
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  it->second->touched = Clock::now();
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->solution;
+}
+
+void SolutionCache::put(const std::string& key, const core::Solution& solution) {
+  const std::lock_guard lock(mutex_);
+  if (const auto it = index_.find(std::string_view(key)); it != index_.end()) {
+    // Two workers racing on one key compute identical deterministic
+    // solutions; refreshing recency is all there is to do.
+    it->second->touched = Clock::now();
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Node{key, solution, 0, Clock::now()});
+  const auto node = lru_.begin();
+  node->bytes = entry_bytes(*node);
+  bytes_ += node->bytes;
+  index_.emplace(std::string_view(node->key), node);
+  ++insertions_;
+  evict_to_limits_locked();
+}
+
+void SolutionCache::evict_to_limits_locked() {
+  const auto over = [this] {
+    return (limits_.max_entries != 0 && lru_.size() > limits_.max_entries) ||
+           (limits_.max_bytes != 0 && bytes_ > limits_.max_bytes);
+  };
+  // Never evict the entry just inserted (size 1): an oversized single
+  // solution is admitted alone rather than thrashing to emptiness.
+  while (lru_.size() > 1 && over()) {
+    const auto victim = std::prev(lru_.end());
+    bytes_ -= victim->bytes;
+    index_.erase(std::string_view(victim->key));
+    lru_.erase(victim);
+    ++evictions_;
+  }
+}
+
+void SolutionCache::clear() {
+  const std::lock_guard lock(mutex_);
+  index_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  hits_ = misses_ = insertions_ = evictions_ = 0;
+}
+
+CacheStats SolutionCache::stats() const {
+  const std::lock_guard lock(mutex_);
+  CacheStats s;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  if (!lru_.empty()) {
+    s.oldest_age_s =
+        std::chrono::duration<double>(Clock::now() - lru_.back().touched)
+            .count();
+  }
+  return s;
+}
+
+}  // namespace reclaim::engine

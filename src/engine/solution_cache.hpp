@@ -1,0 +1,105 @@
+// SolutionCache: the engine's long-lived solution memo as a proper cache.
+//
+// The PR-1 memo was an append-only map that simply stopped caching when
+// full — fine for one batch, wrong for a daemon that must keep serving
+// for days: the working set drifts, and whatever filled the map first
+// squats in it forever. This is the replacement policy the serve layer
+// needs: least-recently-used eviction under two independent caps (entry
+// count and estimated bytes), with a stats surface (hit rate, size,
+// evictions, age of the coldest entry) that the daemon's STATS endpoint
+// samples live — see docs/architecture.md ("Long-lived caches").
+//
+// Thread safety: every operation takes the internal mutex (a hit mutates
+// the recency list, so even lookups are writes). Critical sections are
+// O(1) and tiny; the solvers the cache fronts are micro- to milliseconds,
+// so the lock is never the bottleneck.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/problem.hpp"
+
+namespace reclaim::engine {
+
+/// Eviction policy caps; 0 means "that cap is off". With both off the
+/// cache grows without bound (the batch-library behavior).
+struct CacheLimits {
+  std::size_t max_entries = 0;
+  std::size_t max_bytes = 0;
+};
+
+/// Point-in-time counters; sampled under the cache lock, so a snapshot is
+/// internally consistent even while solves are in flight.
+struct CacheStats {
+  std::size_t entries = 0;
+  std::size_t bytes = 0;  ///< estimated footprint of keys + solutions
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  /// Seconds since the least-recently-used entry was last touched: how
+  /// stale the cold end of the cache is (0 when empty).
+  double oldest_age_s = 0.0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class SolutionCache {
+ public:
+  explicit SolutionCache(CacheLimits limits = {});
+
+  /// The cached solution for `key`, refreshing its recency; nullopt on
+  /// miss. Counts a hit or a miss either way.
+  [[nodiscard]] std::optional<core::Solution> get(const std::string& key);
+
+  /// Inserts (or refreshes) key -> solution, then evicts from the cold
+  /// end until both caps hold again. An entry larger than max_bytes by
+  /// itself is still admitted alone — the caller already paid for the
+  /// solve, and it will be the first evicted.
+  void put(const std::string& key, const core::Solution& solution);
+
+  /// Drops every entry and resets the counters.
+  void clear();
+
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Node {
+    std::string key;
+    core::Solution solution;
+    std::size_t bytes = 0;
+    Clock::time_point touched{};
+  };
+  using LruList = std::list<Node>;  // front = hottest, back = next to evict
+
+  static std::size_t entry_bytes(const Node& node);
+  void evict_to_limits_locked();
+
+  CacheLimits limits_;
+  mutable std::mutex mutex_;
+  LruList lru_;
+  /// Views into the list nodes' own keys; list nodes never relocate, so
+  /// the views stay valid until the node is erased.
+  std::unordered_map<std::string_view, LruList::iterator> index_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace reclaim::engine

@@ -40,7 +40,7 @@ struct ProcessorSpec {
 
 /// Value-semantic collection of per-processor specs; never empty. Cheap to
 /// copy and to encode into the engine's memo keys (every spec field is
-/// hashed — see DESIGN.md, "Memo-key fields").
+/// hashed — see docs/architecture.md, "Memo-key fields").
 class Platform {
  public:
   /// Single default processor (pure power law s^3, uncapped).

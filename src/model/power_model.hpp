@@ -106,7 +106,7 @@ class StaticPowerLaw {
 /// optional power-down spec for idle time. Cheap to copy and to encode
 /// into cache keys (kind + alpha + p_static + the three sleep fields
 /// determine every derived quantity); the engine memo must hash all of
-/// them — see DESIGN.md ("Memo-key fields").
+/// them — see docs/architecture.md ("Memo-key fields").
 class PowerModel {
  public:
   enum class Kind { kPowerLaw, kStaticPowerLaw };

@@ -1,0 +1,88 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace reclaim::net {
+
+ServeClient ServeClient::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  util::require(path.size() < sizeof(addr.sun_path),
+                "socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("socket(): " + std::string(std::strerror(errno)));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd);
+    throw Error("cannot connect to '" + path + "': " + what);
+  }
+  return ServeClient(fd, fd, /*owns_fds=*/true);
+}
+
+ServeClient ServeClient::from_fds(int in_fd, int out_fd, bool owns_fds) {
+  return ServeClient(in_fd, out_fd, owns_fds);
+}
+
+ServeClient::ServeClient(int in_fd, int out_fd, bool owns_fds)
+    : in_fd_(in_fd), out_fd_(out_fd), owns_fds_(owns_fds) {}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : in_fd_(std::exchange(other.in_fd_, -1)),
+      out_fd_(std::exchange(other.out_fd_, -1)),
+      owns_fds_(std::exchange(other.owns_fds_, false)),
+      next_id_(other.next_id_) {}
+
+ServeClient::~ServeClient() {
+  if (!owns_fds_) return;
+  if (in_fd_ >= 0) ::close(in_fd_);
+  if (out_fd_ >= 0 && out_fd_ != in_fd_) ::close(out_fd_);
+}
+
+std::uint64_t ServeClient::send_solve(const SolveRequest& request) {
+  const std::lock_guard lock(send_mutex_);
+  Message message{++next_id_, request};
+  const std::string payload = encode(message);
+  write_frame(out_fd_, payload);
+  return message.id;
+}
+
+std::uint64_t ServeClient::send_stats() {
+  const std::lock_guard lock(send_mutex_);
+  Message message{++next_id_, StatsRequest{}};
+  write_frame(out_fd_, encode(message));
+  return message.id;
+}
+
+std::uint64_t ServeClient::send_ping() {
+  const std::lock_guard lock(send_mutex_);
+  Message message{++next_id_, Ping{}};
+  write_frame(out_fd_, encode(message));
+  return message.id;
+}
+
+std::optional<Message> ServeClient::read_message() {
+  std::string payload;
+  const std::lock_guard lock(read_mutex_);
+  if (!read_frame(in_fd_, payload)) return std::nullopt;
+  return decode(payload);
+}
+
+void ServeClient::finish_sending() {
+  const std::lock_guard lock(send_mutex_);
+  // Sockets get a half-close; a pipe's writer just stops writing (the
+  // tool closes the pipe fd itself when it owns one).
+  ::shutdown(out_fd_, SHUT_WR);
+}
+
+}  // namespace reclaim::net

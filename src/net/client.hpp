@@ -1,0 +1,73 @@
+// ServeClient: the client half of the solve service protocol.
+//
+// Wraps a connected byte stream (Unix socket or an fd pair) in the
+// framing + wire codec and hands out request ids: send_* frames a request
+// and returns the id it was tagged with; read_message() blocks for the
+// next server reply, which — by design — may answer any outstanding id
+// (the server responds in completion order, docs/serve_protocol.md).
+// Callers that pipeline keep their own id -> request map.
+//
+// Thread safety: one sender and one reader may run concurrently (send and
+// read paths lock independently), which is exactly the pipelined-client
+// shape reclaim_client and the throughput bench use. Multiple concurrent
+// senders are also fine; multiple concurrent readers would race for
+// replies.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "net/framing.hpp"
+#include "net/wire.hpp"
+
+namespace reclaim::net {
+
+class ServeClient {
+ public:
+  /// Connects to a reclaim_serve Unix socket. Throws Error on failure.
+  [[nodiscard]] static ServeClient connect_unix(const std::string& path);
+
+  /// Adopts an already-connected pair (socketpair tests, --stdio pipes).
+  /// With `owns_fds` the destructor closes them.
+  [[nodiscard]] static ServeClient from_fds(int in_fd, int out_fd,
+                                            bool owns_fds = false);
+
+  ~ServeClient();
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&&) = delete;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Frames one SOLVE and returns its request id (monotonic from 1).
+  std::uint64_t send_solve(const SolveRequest& request);
+
+  /// Frames a STATS request and returns its id.
+  std::uint64_t send_stats();
+
+  /// Frames a PING and returns its id.
+  std::uint64_t send_ping();
+
+  /// Blocks for the next reply; nullopt on clean EOF (server closed).
+  /// Throws FrameError/WireError if the stream breaks or the reply is
+  /// malformed.
+  [[nodiscard]] std::optional<Message> read_message();
+
+  /// Half-closes the write direction (sockets only): tells the server
+  /// "no more requests" while keeping replies flowing — how a batch
+  /// client says goodbye without abandoning in-flight solves.
+  void finish_sending();
+
+ private:
+  ServeClient(int in_fd, int out_fd, bool owns_fds);
+
+  int in_fd_ = -1;
+  int out_fd_ = -1;
+  bool owns_fds_ = false;
+  std::uint64_t next_id_ = 0;
+  std::mutex send_mutex_;
+  std::mutex read_mutex_;
+};
+
+}  // namespace reclaim::net

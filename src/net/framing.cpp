@@ -1,0 +1,109 @@
+#include "net/framing.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+namespace reclaim::net {
+
+namespace {
+
+/// Reads exactly `count` bytes. Returns the bytes actually read, which is
+/// short only when the stream hit EOF; retries EINTR.
+std::size_t read_exact(int fd, char* out, std::size_t count) {
+  std::size_t done = 0;
+  while (done < count) {
+    const ssize_t got = ::read(fd, out + done, count - done);
+    if (got > 0) {
+      done += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) return done;  // EOF
+    if (errno == EINTR) continue;
+    throw FrameError(FrameError::Kind::kIo,
+                     std::string("frame read failed: ") + std::strerror(errno));
+  }
+  return done;
+}
+
+/// Writes all of `count` bytes. Sockets get send(MSG_NOSIGNAL) so a
+/// closed peer surfaces as EPIPE instead of killing the process with
+/// SIGPIPE; non-socket fds (pipes in --stdio mode) fall back to write().
+void write_all(int fd, const char* data, std::size_t count) {
+  std::size_t done = 0;
+  bool use_send = true;
+  while (done < count) {
+    ssize_t put;
+    if (use_send) {
+      put = ::send(fd, data + done, count - done, MSG_NOSIGNAL);
+      if (put < 0 && errno == ENOTSOCK) {
+        use_send = false;
+        continue;
+      }
+    } else {
+      put = ::write(fd, data + done, count - done);
+    }
+    if (put > 0) {
+      done += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    throw FrameError(FrameError::Kind::kIo,
+                     std::string("frame write failed: ") +
+                         (put < 0 ? std::strerror(errno) : "zero-byte write"));
+  }
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string& payload, std::size_t max_payload) {
+  char prefix[4];
+  const std::size_t header = read_exact(fd, prefix, sizeof prefix);
+  if (header == 0) return false;  // clean EOF at a frame boundary
+  if (header < sizeof prefix) {
+    throw FrameError(FrameError::Kind::kTruncated,
+                     "stream ended inside a frame length prefix");
+  }
+  std::uint32_t length = 0;
+  std::memcpy(&length, prefix, sizeof length);
+  if (length == 0) {
+    throw FrameError(FrameError::Kind::kEmpty, "frame announced an empty payload");
+  }
+  if (length > max_payload) {
+    throw FrameError(FrameError::Kind::kOversized,
+                     "frame announced " + std::to_string(length) +
+                         " bytes (limit " + std::to_string(max_payload) + ")");
+  }
+  payload.resize(length);
+  const std::size_t body = read_exact(fd, payload.data(), length);
+  if (body < length) {
+    throw FrameError(FrameError::Kind::kTruncated,
+                     "stream ended inside a frame payload (" +
+                         std::to_string(body) + " of " + std::to_string(length) +
+                         " bytes)");
+  }
+  return true;
+}
+
+void write_frame(int fd, std::string_view payload, std::size_t max_payload) {
+  if (payload.empty()) {
+    throw FrameError(FrameError::Kind::kEmpty, "refusing to frame an empty payload");
+  }
+  if (payload.size() > max_payload) {
+    throw FrameError(FrameError::Kind::kOversized,
+                     "refusing to frame " + std::to_string(payload.size()) +
+                         " bytes (limit " + std::to_string(max_payload) + ")");
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  char prefix[4];
+  std::memcpy(prefix, &length, sizeof length);
+  // One write for the prefix, one for the payload: contiguity on the wire
+  // is guaranteed by the stream, not by a single syscall.
+  write_all(fd, prefix, sizeof prefix);
+  write_all(fd, payload.data(), payload.size());
+}
+
+}  // namespace reclaim::net

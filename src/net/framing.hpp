@@ -1,0 +1,58 @@
+// Length-prefixed framing over a POSIX byte stream (docs/serve_protocol.md,
+// "Framing"): every message travels as a u32 little-endian payload length
+// followed by that many payload bytes.
+//
+// The frame layer knows nothing about message contents — it only
+// guarantees that a well-formed stream is cut back into the exact payload
+// byte strings the sender framed, and that a malformed stream (oversized
+// announcement, EOF mid-frame) surfaces as a typed FrameError instead of a
+// desynchronized read. Works over sockets and pipes alike; writes use
+// send(MSG_NOSIGNAL) where the fd is a socket so a vanished peer produces
+// an error return, never SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace reclaim::net {
+
+/// Hard ceiling on one frame's payload (docs/serve_protocol.md): large
+/// enough for any realistic task graph, small enough that a garbage
+/// length prefix cannot make the receiver allocate unbounded memory.
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;
+
+/// A violation of the framing contract, tagged with what went wrong so
+/// the server can distinguish "reply with BAD_FRAME then close"
+/// (kOversized, kEmpty) from "nothing left to reply to" (kTruncated, kIo).
+class FrameError : public Error {
+ public:
+  enum class Kind {
+    kEmpty,      ///< frame announced a zero-length payload
+    kOversized,  ///< frame announced more than the payload ceiling
+    kTruncated,  ///< stream ended in the middle of a frame
+    kIo,         ///< read/write syscall failed (or the peer vanished)
+  };
+
+  FrameError(Kind kind, const std::string& what) : Error(what), kind_(kind) {}
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// Reads one frame into `payload`. Returns false on clean EOF at a frame
+/// boundary (the peer closed; there is no partial frame), true on
+/// success. Throws FrameError on a malformed or truncated stream.
+[[nodiscard]] bool read_frame(int fd, std::string& payload,
+                              std::size_t max_payload = kMaxFramePayload);
+
+/// Writes one frame (length prefix + payload). Throws FrameError{kIo} if
+/// the peer is gone, FrameError{kOversized}/{kEmpty} if the payload
+/// violates the size contract (caller bug, but never silently framed).
+void write_frame(int fd, std::string_view payload,
+                 std::size_t max_payload = kMaxFramePayload);
+
+}  // namespace reclaim::net

@@ -1,0 +1,133 @@
+// ReclaimServer: the solve service around a shared, long-lived engine.
+//
+// One server owns one ReclaimEngine, so every connection that ever talks
+// to it shares the same solution memo and shape cache — the second client
+// asking for an instance the first client already solved gets a memo hit,
+// which is the entire point of running the solver as a daemon instead of
+// re-executing reclaim_cli per sweep (docs/architecture.md, "Long-lived
+// caches").
+//
+// Transport is pluggable at the fd level (docs/serve_protocol.md):
+//
+//   - serve_unix() binds a Unix-domain socket and accepts clients until
+//     shutdown(), one reader thread per connection;
+//   - serve_stream() speaks the same protocol over an (in_fd, out_fd)
+//     pair — reclaim_serve --stdio, socketpair tests, and the throughput
+//     bench all reuse the exact production code path.
+//
+// Concurrency: the reader thread decodes frames and answers STATS/PING
+// inline; SOLVE requests go to the engine's pool via submit(), and the
+// worker that finishes writes the RESULT itself under the connection's
+// write lock. Responses therefore come back in completion order, tagged
+// with the request id — never artificially serialized behind a slow
+// solve. A connection's reader drains its in-flight solves before
+// returning, so the caller's fds stay valid until the last response.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/solve.hpp"
+#include "engine/reclaim_engine.hpp"
+#include "net/framing.hpp"
+#include "net/wire.hpp"
+
+namespace reclaim::net {
+
+struct ServerOptions {
+  /// The shared engine (threads, memo entry/byte caps, ...).
+  engine::EngineOptions engine;
+  /// Solver options applied to every request (rel gap, exact cutoff; the
+  /// per-request SOLVE body carries its own leakage mode).
+  core::SolveOptions solve;
+  /// Per-frame payload ceiling; frames announcing more are BAD_FRAME.
+  std::size_t max_frame_bytes = kMaxFramePayload;
+  /// Period of the one-line stats log (seconds; 0 disables). Needs `log`.
+  double stats_log_interval_s = 0.0;
+  /// Sink for the periodic stats line (not owned; nullptr disables).
+  std::ostream* log = nullptr;
+};
+
+class ReclaimServer {
+ public:
+  explicit ReclaimServer(ServerOptions options = {});
+  ~ReclaimServer();
+
+  ReclaimServer(const ReclaimServer&) = delete;
+  ReclaimServer& operator=(const ReclaimServer&) = delete;
+
+  /// Serves one already-connected peer over an fd pair (requests read
+  /// from `in_fd`, responses written to `out_fd`; they may be the same
+  /// socket). Blocks until the peer closes (or desyncs the frame layer)
+  /// and every in-flight solve has been answered. Does NOT close the fds
+  /// — they belong to the caller. Safe to call from several threads at
+  /// once; all connections share the engine.
+  void serve_stream(int in_fd, int out_fd);
+
+  /// Binds `socket_path` (unlinking any stale socket first), then accepts
+  /// and serves clients until shutdown(). Blocks; returns after the last
+  /// connection drains. Throws Error if the socket cannot be bound.
+  void serve_unix(const std::string& socket_path);
+
+  /// Asks serve_unix() to stop accepting and return. Async-signal-safe
+  /// (an atomic store; the accept loop polls the flag), so a SIGINT
+  /// handler may call it directly. Existing connections finish normally;
+  /// the loop notices within one poll interval (~200 ms).
+  void shutdown();
+
+  /// Live counters (docs/serve_protocol.md, STATS_REPLY): sampled from
+  /// the engine's atomics and the cache's lock, callable from any thread
+  /// while solves are in flight. Disconnected clients keep their rows.
+  [[nodiscard]] StatsReply stats() const;
+
+  /// The stats as the one-line human summary the daemon logs.
+  [[nodiscard]] std::string stats_line() const;
+
+  /// The shared engine (tests reach through for cache assertions).
+  [[nodiscard]] engine::ReclaimEngine& engine() noexcept { return engine_; }
+
+ private:
+  /// Per-client reply counters; shared_ptr'd so worker callbacks and the
+  /// stats sampler outlive the connection that spawned them.
+  struct ClientCounters {
+    std::uint64_t id = 0;
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> results{0};
+    std::atomic<std::uint64_t> errors{0};
+  };
+  struct Connection;
+
+  void handle_connection(int in_fd, int out_fd);
+  void handle_message(const std::shared_ptr<Connection>& conn,
+                      Message message);
+  /// Encodes + frames `message` under the connection's write lock,
+  /// counting it as a result or an error; write failures mark the
+  /// connection dead instead of throwing into a worker.
+  void send_reply(Connection& conn, const Message& message);
+  void log_loop();
+
+  ServerOptions options_;
+  engine::ReclaimEngine engine_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex clients_mutex_;
+  std::vector<std::shared_ptr<ClientCounters>> clients_;
+  std::uint64_t next_client_id_ = 0;
+  std::uint64_t clients_active_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> listen_fd_{-1};
+
+  std::thread log_thread_;
+};
+
+}  // namespace reclaim::net

@@ -3,7 +3,10 @@
 // a poisoned instance mid-batch.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
 #include <limits>
+#include <thread>
 #include <vector>
 
 #include "core/analysis.hpp"
@@ -293,21 +296,140 @@ TEST(ReclaimEngine, ChainDpRoutesLargeDiscreteChains) {
   EXPECT_EQ(s.method, "chain-dp");
 }
 
-TEST(ReclaimEngine, MemoCapacityBoundsTheCache) {
+TEST(ReclaimEngine, MemoEvictsLeastRecentlyUsed) {
   const auto instances = mixed_instances(47, 1);  // 5 distinct instances
   re::EngineOptions engine_options;
   engine_options.threads = 1;
   engine_options.memo_capacity = 2;
   re::ReclaimEngine engine(engine_options);
 
+  // Two sequential scans of a 5-instance working set through a 2-entry
+  // LRU — the worst case for LRU: by the time the scan comes around
+  // again, every entry has already been pushed out, so the second batch
+  // is all fresh solves and every insertion past the first two evicts.
   const auto first = engine.solve_batch(instances, rm::ContinuousModel{2.0});
   const auto second = engine.solve_batch(instances, rm::ContinuousModel{2.0});
-  const auto stats = engine.stats();
-  EXPECT_EQ(stats.memo_hits, 2u);  // only the capped entries are served
-  EXPECT_EQ(stats.fresh_solves, 2 * instances.size() - 2);
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.memo_hits, 0u);
+  EXPECT_EQ(stats.fresh_solves, 2 * instances.size());
+  EXPECT_EQ(stats.memo_entries, 2u);
+  EXPECT_EQ(stats.memo_evictions, 2 * instances.size() - 2);
+  EXPECT_GT(stats.memo_bytes, 0u);
   for (std::size_t i = 0; i < instances.size(); ++i) {
-    expect_identical(second[i], first[i]);  // overflow changes cost, not answers
+    expect_identical(second[i], first[i]);  // eviction changes cost, not answers
   }
+
+  // The two most recently inserted entries ARE resident: re-asking for
+  // the last instance is a memo hit, not a fresh solve.
+  expect_identical(engine.solve_one(instances.back(), rm::ContinuousModel{2.0}),
+                   first.back());
+  stats = engine.stats();
+  EXPECT_EQ(stats.memo_hits, 1u);
+  EXPECT_EQ(stats.fresh_solves, 2 * instances.size());
+}
+
+TEST(ReclaimEngine, MemoByteCapBoundsResidentBytes) {
+  const auto instances = mixed_instances(59);
+  const rm::EnergyModel model = rm::ContinuousModel{2.0};
+
+  // Measure the working set's unbounded footprint first, then cap a
+  // second engine at half of it.
+  re::EngineOptions unbounded;
+  unbounded.threads = 1;
+  unbounded.memo_capacity = 0;
+  re::ReclaimEngine reference(unbounded);
+  const auto fresh = reference.solve_batch(instances, model);
+  const std::size_t full_bytes = reference.stats().memo_bytes;
+  ASSERT_GT(full_bytes, 0u);
+
+  re::EngineOptions capped;
+  capped.threads = 1;
+  capped.memo_capacity = 0;  // the byte cap alone must bound the cache
+  capped.memo_bytes = full_bytes / 2;
+  re::ReclaimEngine engine(capped);
+  const auto solutions = engine.solve_batch(instances, model);
+  const auto stats = engine.stats();
+  EXPECT_GT(stats.memo_evictions, 0u);
+  EXPECT_LT(stats.memo_bytes, full_bytes);
+  // Within the cap — except for the sole-entry escape hatch (the cache
+  // never evicts its only entry, even when that entry alone exceeds it).
+  EXPECT_TRUE(stats.memo_bytes <= capped.memo_bytes || stats.memo_entries == 1);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    expect_identical(solutions[i], fresh[i]);
+  }
+}
+
+TEST(ReclaimEngine, SubmitMatchesSolveOne) {
+  const auto instances = mixed_instances(71, 1);
+  re::EngineOptions engine_options;
+  engine_options.threads = 2;
+  re::ReclaimEngine engine(engine_options);
+  re::ReclaimEngine reference(re::EngineOptions{.threads = 1});
+  const rm::EnergyModel model = rm::ContinuousModel{2.0};
+
+  for (const auto& instance : instances) {
+    std::promise<rc::Solution> promise;
+    engine.submit({instance, reclaim::sched::Mapping(1)}, model, {},
+                  [&promise](rc::Solution solution, std::exception_ptr error) {
+                    EXPECT_EQ(error, nullptr);
+                    promise.set_value(std::move(solution));
+                  });
+    expect_identical(promise.get_future().get(),
+                     reference.solve_one(instance, model));
+  }
+  EXPECT_EQ(engine.stats().instances, instances.size());
+}
+
+TEST(ReclaimEngine, SubmitReportsPoisonedInstanceViaExceptionPtr) {
+  rc::Instance poisoned;  // bypass make_instance's validation on purpose
+  poisoned.exec_graph = rg::make_chain({1.0, 2.0});
+  poisoned.deadline = -1.0;
+
+  for (const std::size_t threads : {1u, 4u}) {
+    re::EngineOptions engine_options;
+    engine_options.threads = threads;
+    re::ReclaimEngine engine(engine_options);
+    std::promise<std::exception_ptr> promise;
+    engine.submit({poisoned, reclaim::sched::Mapping(1)},
+                  rm::ContinuousModel{2.0}, {},
+                  [&promise](rc::Solution, std::exception_ptr error) {
+                    promise.set_value(error);
+                  });
+    const std::exception_ptr error = promise.get_future().get();
+    ASSERT_NE(error, nullptr);  // delivered to the callback, never thrown
+    EXPECT_THROW(std::rethrow_exception(error), reclaim::InvalidArgument);
+  }
+}
+
+TEST(ReclaimEngine, StatsSampledLiveWhileSolvesInFlight) {
+  // The daemon's STATS endpoint samples the counters from another thread
+  // while workers are mid-solve; every snapshot must be a sane
+  // point-in-time value (and under TSan/ASan, a clean one).
+  const auto instances = mixed_instances(67);
+  re::EngineOptions engine_options;
+  engine_options.threads = 4;
+  re::ReclaimEngine engine(engine_options);
+  std::atomic<std::size_t> done{0};
+  for (const auto& instance : instances) {
+    engine.submit({instance, reclaim::sched::Mapping(1)},
+                  rm::ContinuousModel{2.0}, {},
+                  [&done](rc::Solution solution, std::exception_ptr error) {
+                    EXPECT_EQ(error, nullptr);
+                    EXPECT_TRUE(solution.feasible);
+                    done.fetch_add(1, std::memory_order_relaxed);
+                  });
+  }
+  while (done.load(std::memory_order_relaxed) < instances.size()) {
+    const auto live = engine.stats();
+    EXPECT_LE(live.fresh_solves + live.memo_hits, live.instances);
+    EXPECT_LE(live.instances, instances.size());
+    EXPECT_LE(live.memo_entries, instances.size());
+    std::this_thread::yield();
+  }
+  const auto final_stats = engine.stats();
+  EXPECT_EQ(final_stats.instances, instances.size());
+  EXPECT_EQ(final_stats.fresh_solves + final_stats.memo_hits,
+            instances.size());
 }
 
 TEST(ReclaimEngine, PoisonedInstanceAbortsBatchWithException) {

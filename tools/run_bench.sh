@@ -28,7 +28,9 @@
 # run). Informational for every bench except bench_e12_batch_throughput:
 # its workload has proven low-noise, so a sustained regression there is a
 # hard gate — the script exits 1. Opt out with RECLAIM_BENCH_HARD_GATE=0
-# (e.g. on known-noisy hosts).
+# (e.g. on known-noisy hosts). bench_e17_serve_throughput (the daemon
+# stack) rides the same chain but stays a soft alert: its rates include
+# socket scheduling, which is noisier than pure solver throughput.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

@@ -1,0 +1,301 @@
+// Shared command-line plumbing of the reclaim tools (reclaim_cli,
+// reclaim_serve, reclaim_client): the --option parser and the
+// flag -> model/platform/instance builders that used to live inside
+// reclaim_cli. One definition means one flag vocabulary — --alpha,
+// --static-power, --platform, --leakage behave identically whether the
+// solve happens in-process or across the serve protocol, and docs/cli.md
+// documents each flag once.
+#pragma once
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/graph_io.hpp"
+#include "reclaim.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::tools {
+
+/// Parsed command line: one leading command word plus --key value pairs
+/// (and valueless --flags, stored as "1").
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return options.contains(key);
+  }
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto v = get(key);
+    if (!v) throw InvalidArgument("missing required option --" + key);
+    return *v;
+  }
+  [[nodiscard]] double number(const std::string& key) const {
+    const std::string v = require(key);
+    try {
+      std::size_t parsed = 0;
+      const double d = std::stod(v, &parsed);
+      if (parsed != v.size()) throw std::invalid_argument(v);
+      return d;
+    } catch (const std::exception&) {
+      throw InvalidArgument("option --" + key + " expects a number, got '" +
+                            v + "'");
+    }
+  }
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback) const {
+    return get(key) ? number(key) : fallback;
+  }
+  /// Non-negative integer option (thread/processor counts): rejects
+  /// negatives and fractions instead of letting the double->size_t cast
+  /// go out of range.
+  [[nodiscard]] std::size_t count_or(const std::string& key,
+                                     std::size_t fallback) const {
+    if (!get(key)) return fallback;
+    const double v = number(key);
+    if (v < 0.0 || v != std::floor(v)) {
+      throw InvalidArgument("option --" + key +
+                            " expects a non-negative integer, got '" +
+                            *get(key) + "'");
+    }
+    return static_cast<std::size_t>(v);
+  }
+};
+
+/// Parses `<command> [--opt value | --flag]...`. Options named in
+/// `valueless` do not consume the next word ("--stdio", "--help").
+/// "--help" (or "help") as the first word becomes the "help" command, so
+/// every tool answers `tool --help` without a command word.
+inline Args parse_args(int argc, char** argv, const std::string& usage,
+                       const std::set<std::string>& valueless = {}) {
+  Args args;
+  if (argc < 2) throw InvalidArgument(usage);
+  args.command = argv[1];
+  int i = 2;
+  if (args.command == "--help" || args.command == "help") {
+    args.command = "help";
+  } else if (args.command.rfind("--", 0) == 0) {
+    // Command-less tools (reclaim_serve, reclaim_client) start straight
+    // at the options; re-parse argv[1] as the first of them.
+    args.command.clear();
+    i = 1;
+  }
+  for (; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0)
+      throw InvalidArgument("expected --option, got '" + key + "'");
+    key = key.substr(2);
+    if (key == "help") {
+      args.command = "help";
+      continue;
+    }
+    if (valueless.contains(key)) {
+      args.options[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc)
+      throw InvalidArgument("option --" + key + " needs a value");
+    args.options[key] = argv[++i];
+  }
+  return args;
+}
+
+inline graph::Digraph load_graph(const Args& args) {
+  const std::string path = args.require("graph");
+  std::ifstream in(path);
+  if (!in) throw InvalidArgument("cannot open graph file '" + path + "'");
+  return io::read_task_graph(in);
+}
+
+inline model::ModeSet parse_modes(const std::string& csv) {
+  std::vector<double> speeds;
+  std::istringstream is(csv);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    if (!token.empty()) speeds.push_back(std::stod(token));
+  }
+  return model::ModeSet(speeds);
+}
+
+/// Energy model from --model continuous|vdd|discrete|incremental plus its
+/// parameter flags (--smax, --modes, --smin/--smax/--delta).
+inline model::EnergyModel parse_model(const Args& args) {
+  const std::string name = args.require("model");
+  if (name == "continuous") {
+    return model::ContinuousModel{
+        args.number_or("smax", std::numeric_limits<double>::infinity())};
+  }
+  if (name == "vdd") {
+    return model::VddHoppingModel{parse_modes(args.require("modes"))};
+  }
+  if (name == "discrete") {
+    return model::DiscreteModel{parse_modes(args.require("modes"))};
+  }
+  if (name == "incremental") {
+    return model::IncrementalModel(args.number("smin"), args.number("smax"),
+                                   args.number("delta"));
+  }
+  throw InvalidArgument("unknown model '" + name + "'");
+}
+
+/// Idle/sleep spec from --idle-power / --sleep-power / --wake-cost
+/// (all default 0: power-down accounting disabled).
+inline model::SleepSpec parse_sleep(const Args& args) {
+  return model::make_sleep_spec(args.number_or("idle-power", 0.0),
+                                args.number_or("sleep-power", 0.0),
+                                args.number_or("wake-cost", 0.0));
+}
+
+/// Solver options from --leakage exact|reduction (default reduction, the
+/// pre-exact semantics of every solver family).
+inline core::SolveOptions parse_solve_options(const Args& args) {
+  core::SolveOptions options;
+  if (const auto mode = args.get("leakage")) {
+    if (*mode == "exact") {
+      options.leakage = core::LeakageMode::kExact;
+    } else if (*mode == "reduction") {
+      options.leakage = core::LeakageMode::kReduction;
+    } else {
+      throw InvalidArgument("--leakage expects 'exact' or 'reduction', got '" +
+                            *mode + "'");
+    }
+  }
+  return options;
+}
+
+/// Heterogeneous platform from --platform <file>: one processor per line,
+/// "alpha,p_static,s_max[,idle,sleep,wake]". Returns nullopt without the
+/// flag; rejects the uniform power flags alongside it (the file is the
+/// single source of truth for every processor's curve).
+inline std::optional<model::Platform> parse_platform(const Args& args) {
+  const auto path = args.get("platform");
+  if (!path) return std::nullopt;
+  for (const char* conflicting :
+       {"alpha", "static-power", "idle-power", "sleep-power", "wake-cost"}) {
+    if (args.get(conflicting)) {
+      throw InvalidArgument(std::string("--platform replaces --") +
+                            conflicting +
+                            "; describe every processor in the "
+                            "platform file instead");
+    }
+  }
+  std::ifstream in(*path);
+  if (!in) throw InvalidArgument("cannot open platform file '" + *path + "'");
+
+  std::vector<model::ProcessorSpec> specs;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    // Whole-line trim first: blank / comment-only lines are skipped, but
+    // once a line has content every comma-separated field must parse — an
+    // empty field (",,", stray trailing comma) is a malformed line, never
+    // a silent shift of the remaining values into the wrong parameters.
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    line = line.substr(begin, line.find_last_not_of(" \t\r") - begin + 1);
+    std::vector<double> fields;
+    std::istringstream is(line);
+    std::string token;
+    while (std::getline(is, token, ',')) {
+      const auto first = token.find_first_not_of(" \t\r");
+      if (first == std::string::npos) {
+        throw InvalidArgument("platform line " + std::to_string(line_no) +
+                              ": empty field");
+      }
+      token = token.substr(first, token.find_last_not_of(" \t\r") - first + 1);
+      try {
+        std::size_t parsed = 0;
+        fields.push_back(std::stod(token, &parsed));
+        if (parsed != token.size()) throw std::invalid_argument(token);
+      } catch (const std::exception&) {
+        throw InvalidArgument("platform line " + std::to_string(line_no) +
+                              ": expected a number, got '" + token + "'");
+      }
+    }
+    if (fields.size() != 3 && fields.size() != 6) {
+      throw InvalidArgument(
+          "platform line " + std::to_string(line_no) +
+          ": expected 'alpha,p_static,s_max[,idle,sleep,wake]'");
+    }
+    model::ProcessorSpec spec;
+    const auto sleep =
+        fields.size() == 6
+            ? model::make_sleep_spec(fields[3], fields[4], fields[5])
+            : model::SleepSpec{};
+    spec.power = model::make_power_model(fields[0], fields[1], sleep);
+    spec.s_max = fields[2];
+    specs.push_back(spec);
+  }
+  if (specs.empty()) {
+    throw InvalidArgument("platform file '" + *path + "' lists no processors");
+  }
+  return model::Platform(std::move(specs));
+}
+
+/// Processor count of this invocation: the platform's size when given
+/// (--processors must agree if also present), else --processors
+/// (default 1).
+inline std::size_t processor_count(
+    const Args& args, const std::optional<model::Platform>& platform) {
+  const auto requested =
+      args.count_or("processors", platform ? platform->size() : 1);
+  if (platform && requested != platform->size()) {
+    throw InvalidArgument("--processors disagrees with the platform file (" +
+                          std::to_string(platform->size()) + " processors)");
+  }
+  return requested;
+}
+
+/// Execution graph for one application graph — list schedule (or explicit
+/// mapping) plus same-processor chaining edges — together with the mapping
+/// itself, which the idle-interval accounting needs.
+struct MappedGraph {
+  graph::Digraph exec;
+  sched::Mapping mapping;
+};
+
+inline MappedGraph mapped_exec(const Args& args, const graph::Digraph& app,
+                               std::size_t processors) {
+  sched::Mapping mapping(1);
+  if (const auto mapping_file = args.get("mapping")) {
+    std::ifstream in(*mapping_file);
+    if (!in)
+      throw InvalidArgument("cannot open mapping file '" + *mapping_file +
+                            "'");
+    mapping = io::read_mapping(in, app);
+  } else {
+    mapping = sched::list_schedule(app, processors).mapping;
+  }
+  return {sched::build_execution_graph(app, mapping), std::move(mapping)};
+}
+
+/// Instance under either the uniform power flags or --platform: the
+/// heterogeneous overload derives the per-task processor assignment from
+/// the mapping (and validates platform size against it).
+inline core::Instance make_cli_instance(
+    graph::Digraph exec, double deadline,
+    const std::optional<model::Platform>& platform,
+    const model::PowerModel& power, const sched::Mapping& mapping) {
+  if (platform) {
+    return core::make_instance(std::move(exec), deadline, *platform, mapping);
+  }
+  return core::make_instance(std::move(exec), deadline, power);
+}
+
+}  // namespace reclaim::tools
