@@ -1,0 +1,241 @@
+// E18 — sweep throughput: the batched fast path on homogeneous grids.
+//
+// A parameter sweep (Pareto curve, deadline grid) hands the engine
+// thousands of instances sharing one topology and power model; only the
+// task weights and the deadline vary. This bench measures what PR 7's
+// fast path buys on that workload:
+//
+//   (a) closed-form grid sweeps (single / chain / fork), kernels ON vs
+//       OFF — the structure-of-arrays kernels vs per-instance dispatch.
+//       Acceptance: >= 5x inst/s with kernels on, and bit-identical
+//       results (asserted in-process here, fuzzed in
+//       tests/test_batch_kernels.cpp).
+//   (b) a numeric-barrier deadline grid (general DAG), warm starts ON vs
+//       OFF — each solve seeded from the previous grid point's speeds.
+//       Results agree within the feasibility tolerance (asserted).
+#include <cmath>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace reclaim;
+
+/// A homogeneous grid: `count` instances of one family with weights and
+/// deadlines varying per instance — the kernel-batchable shape.
+std::vector<core::Instance> grid(const std::string& family, std::size_t count,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<core::Instance> out;
+  out.reserve(count);
+  std::vector<double> weights(family == "single" ? 1 : 8);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (double& w : weights) w = rng.uniform(0.5, 4.0);
+    graph::Digraph g = family == "chain"  ? graph::make_chain(weights)
+                       : family == "fork" ? graph::make_fork(weights)
+                                          : graph::make_chain({weights[0]});
+    const double d = rng.uniform(1.1, 3.0) * core::min_deadline(g, 2.0);
+    out.push_back(core::make_instance(std::move(g), d));
+  }
+  return out;
+}
+
+/// Deadline grid over one general DAG: every solve takes the numeric
+/// barrier, which is what warm starts accelerate.
+std::vector<core::Instance> barrier_grid(std::size_t count,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  const graph::Digraph g = graph::make_stencil(4, 4, rng);
+  const double d_min = core::min_deadline(g, 2.0);
+  std::vector<core::Instance> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double slack = 1.2 + 1.6 * static_cast<double>(i) /
+                                   static_cast<double>(count);
+    graph::Digraph copy = g;
+    out.push_back(core::make_instance(std::move(copy), slack * d_min,
+                                      model::StaticPowerLaw(3.0, 0.3)));
+  }
+  return out;
+}
+
+struct Timing {
+  double seconds = 0.0;
+  std::vector<core::Solution> solutions;
+};
+
+/// Best-of-N timed batch through a fresh engine. `grids` holds one
+/// distinct instance set per rep (a sweep never re-solves an instance, so
+/// repeating one set would let the scalar engine's memo answer the
+/// repeats and measure cache probes instead of sweep work). threads == 1
+/// isolates the per-instance cost the kernels remove — at hardware
+/// threads the pool's fixed costs dominate a millisecond-scale
+/// closed-form batch and mask the overhead being measured. Returns the
+/// best rate's timing with the *first* grid's solutions (for identity
+/// checks).
+Timing timed_batch(const std::vector<std::vector<core::Instance>>& grids,
+                   const model::EnergyModel& model,
+                   const core::SolveOptions& solve_options, bool memoize,
+                   bool use_kernels, bool warm_start, std::size_t threads) {
+  engine::EngineOptions options;
+  options.threads = threads;
+  options.memoize = memoize;
+  options.use_kernels = use_kernels;
+  options.warm_start = warm_start;
+  engine::ReclaimEngine eng(options);
+  // Warm-up on grid 0 (untimed): shape cache, arenas, pool — and for the
+  // memoizing engine, a realistically populated memo to probe against.
+  // Grids 1.. are timed; each holds distinct instances, so every timed
+  // solve is fresh work under every engine configuration.
+  (void)eng.solve_batch(std::span<const core::Instance>(grids.front()), model,
+                        solve_options);
+  Timing best;
+  best.seconds = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 1; r < grids.size(); ++r) {
+    util::Timer timer;
+    auto out = eng.solve_batch(std::span<const core::Instance>(grids[r]),
+                               model, solve_options);
+    const double seconds = timer.seconds();
+    if (seconds < best.seconds) best.seconds = seconds;
+    if (r == 1) best.solutions = std::move(out);
+  }
+  return best;
+}
+
+void require_identical(const std::vector<core::Solution>& a,
+                       const std::vector<core::Solution>& b,
+                       const char* what) {
+  if (a.size() != b.size()) throw NumericalError(std::string(what) + ": size");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].feasible != b[i].feasible || a[i].energy != b[i].energy ||
+        a[i].method != b[i].method || a[i].speeds != b[i].speeds) {
+      throw NumericalError(std::string(what) +
+                           ": result diverged at instance " +
+                           std::to_string(i));
+    }
+  }
+}
+
+void require_within_tol(const std::vector<core::Solution>& a,
+                        const std::vector<core::Solution>& b,
+                        const char* what) {
+  if (a.size() != b.size()) throw NumericalError(std::string(what) + ": size");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].feasible != b[i].feasible) {
+      throw NumericalError(std::string(what) + ": feasibility diverged");
+    }
+    const double tol =
+        core::kFeasibilityRelTol * std::max(1.0, std::abs(b[i].energy));
+    if (std::abs(a[i].energy - b[i].energy) > tol) {
+      throw NumericalError(std::string(what) + ": energy diverged at " +
+                           std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E18 sweep throughput (batched kernels + warm starts)",
+                "homogeneous grid sweeps through the engine: SoA kernels vs "
+                "scalar dispatch (acceptance: >= 5x inst/s, bit-identical), "
+                "and warm-started barrier grids vs cold solves (within the "
+                "feasibility tolerance)");
+
+  const model::EnergyModel continuous = model::ContinuousModel{2.0};
+  const std::size_t kGrid = 20000;
+
+  bool speedup_met = false;
+  {
+    // Three engine configurations over the same grids:
+    //   scalar    — the engine's default scalar path (memo ON: a sweep of
+    //               distinct instances pays canonical-key construction and
+    //               memo traffic for every solve; this is what sweeps ran
+    //               through before the kernels),
+    //   no-memo   — scalar dispatch with the memo ablated,
+    //   kernel    — the batched fast path (plans the run once, bypasses
+    //               dispatch and memo per instance).
+    util::Table table("(a) closed-form grids: kernels vs scalar dispatch "
+                      "(1 thread, per-instance cost)",
+                      {"family", "instances", "scalar inst/s",
+                       "no-memo inst/s", "kernel inst/s", "vs scalar",
+                       "vs no-memo"});
+    for (const char* family : {"single", "chain", "fork"}) {
+      std::vector<std::vector<core::Instance>> grids;
+      for (std::uint64_t r = 0; r < 4; ++r) {
+        grids.push_back(grid(family, kGrid, 1818 + 31 * r));
+      }
+      const double n = static_cast<double>(kGrid);
+      const Timing scalar =
+          timed_batch(grids, continuous, {}, /*memoize=*/true,
+                      /*use_kernels=*/false, /*warm_start=*/false, 1);
+      const Timing no_memo =
+          timed_batch(grids, continuous, {}, /*memoize=*/false,
+                      /*use_kernels=*/false, /*warm_start=*/false, 1);
+      const Timing kernel =
+          timed_batch(grids, continuous, {}, /*memoize=*/true,
+                      /*use_kernels=*/true, /*warm_start=*/false, 1);
+      require_identical(kernel.solutions, scalar.solutions, family);
+      require_identical(kernel.solutions, no_memo.solutions, family);
+      const double scalar_rate = n / scalar.seconds;
+      const double no_memo_rate = n / no_memo.seconds;
+      const double kernel_rate = n / kernel.seconds;
+      if (kernel_rate >= 5.0 * scalar_rate) speedup_met = true;
+      table.add_row({family, util::Table::fmt(kGrid),
+                     util::Table::fmt(scalar_rate, 1),
+                     util::Table::fmt(no_memo_rate, 1),
+                     util::Table::fmt(kernel_rate, 1),
+                     util::Table::fmt_ratio(kernel_rate / scalar_rate, 2),
+                     util::Table::fmt_ratio(kernel_rate / no_memo_rate, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "kernel results verified bit-identical to the scalar path"
+              << std::endl;
+  }
+
+  {
+    std::vector<std::vector<core::Instance>> grids;
+    for (std::uint64_t r = 0; r < 3; ++r) {
+      grids.push_back(barrier_grid(128, 1845 + 17 * r));
+    }
+    core::SolveOptions exact;
+    exact.leakage = core::LeakageMode::kExact;
+    const Timing cold =
+        timed_batch(grids, continuous, exact, /*memoize=*/false,
+                    /*use_kernels=*/true, /*warm_start=*/false, 0);
+    const Timing warm =
+        timed_batch(grids, continuous, exact, /*memoize=*/false,
+                    /*use_kernels=*/true, /*warm_start=*/true, 0);
+    require_within_tol(warm.solutions, cold.solutions, "warm-start grid");
+    const double n = static_cast<double>(grids[1].size());
+    const double cold_rate = n / cold.seconds;
+    const double warm_rate = n / warm.seconds;
+    util::Table table("(b) numeric-barrier deadline grid: warm starts",
+                      {"instances", "cold s", "warm s", "cold inst/s",
+                       "warm inst/s", "speedup"});
+    table.add_row({util::Table::fmt(grids[1].size()),
+                   util::Table::fmt(cold.seconds, 4),
+                   util::Table::fmt(warm.seconds, 4),
+                   util::Table::fmt(cold_rate, 1),
+                   util::Table::fmt(warm_rate, 1),
+                   util::Table::fmt_ratio(warm_rate / cold_rate, 2)});
+    table.print(std::cout);
+    std::cout << "warm-started energies verified within the feasibility "
+                 "tolerance of cold solves\n";
+  }
+
+  if (!speedup_met) {
+    std::cout.flush();
+    throw NumericalError(
+        "acceptance failed: no closed-form family reached 5x inst/s with "
+        "kernels on");
+  }
+  std::cout << "\nAcceptance met: >= 5x inst/s on at least one "
+               "homogeneous-grid sweep with kernels on, results "
+               "bit-identical.\n";
+  return 0;
+}

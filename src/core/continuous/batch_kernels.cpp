@@ -1,0 +1,222 @@
+#include "core/continuous/batch_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/classify.hpp"
+
+namespace reclaim::core {
+
+namespace {
+
+/// Constant-speed fill replicating speeds_solution exactly: zero-weight
+/// tasks keep speed 0 and are skipped from the energy sum, which
+/// accumulates in node-id order against each task's own power model.
+void fill_constant_speed(const Instance& instance, double speed,
+                         const char* method, Solution& out) {
+  const auto& g = instance.exec_graph;
+  const std::size_t n = g.num_nodes();
+  out.feasible = true;
+  out.method = method;
+  out.speeds.assign(n, 0.0);
+  out.energy = 0.0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const double w = g.weight(v);
+    if (w == 0.0) continue;
+    out.speeds[v] = speed;
+    out.energy += instance.power_of(v).task_energy(w, speed);
+  }
+}
+
+void run_single(const KernelPlan& plan, const Instance* const* instances,
+                std::size_t count, Solution* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const Instance& inst = *instances[i];
+    const double w = inst.exec_graph.weight(0);
+    const double speed = std::max(w / inst.deadline, plan.floor);
+    if (!within_speed_cap(speed, plan.s_max)) {
+      out[i] = infeasible_solution("closed-form-single");
+      continue;
+    }
+    fill_constant_speed(inst, std::min(speed, plan.s_max),
+                        "closed-form-single", out[i]);
+  }
+}
+
+void run_chain(const KernelPlan& plan, const Instance* const* instances,
+               std::size_t count, Solution* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const Instance& inst = *instances[i];
+    const double speed =
+        std::max(inst.exec_graph.total_weight() / inst.deadline, plan.floor);
+    if (!within_speed_cap(speed, plan.s_max)) {
+      out[i] = infeasible_solution("closed-form-chain");
+      continue;
+    }
+    fill_constant_speed(inst, std::min(speed, plan.s_max),
+                        "closed-form-chain", out[i]);
+  }
+}
+
+void run_fork(const KernelPlan& plan, const Instance* const* instances,
+              std::size_t count, Solution* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const Instance& inst = *instances[i];
+    const auto& g = inst.exec_graph;
+    const std::size_t n = g.num_nodes();
+    const graph::NodeId root = plan.root;
+    const double d = inst.deadline;
+    const double w0 = g.weight(root);
+
+    // Theorem 1's fork closed form, operation-for-operation the scalar
+    // solve_fork: l is the parallel equivalent weight of the leaves.
+    double sum_pow = 0.0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (v == root) continue;
+      sum_pow += std::pow(g.weight(v), plan.alpha);
+    }
+    const double l = sum_pow > 0.0 ? std::pow(sum_pow, 1.0 / plan.alpha) : 0.0;
+
+    Solution& s = out[i];
+    s.method = "closed-form-fork";
+    s.speeds.assign(n, 0.0);
+
+    const double s0_unconstrained = (l + w0) / d;
+    double s0;
+    double leaf_window;
+    if (s0_unconstrained <= plan.s_max) {
+      s0 = s0_unconstrained;
+      leaf_window = l > 0.0 ? l / s0 : 0.0;
+    } else {
+      s0 = plan.s_max;
+      leaf_window = d - w0 / plan.s_max;
+      if (l > 0.0 && leaf_window <= 0.0) {
+        s = infeasible_solution("closed-form-fork");
+        continue;
+      }
+    }
+
+    s.energy = 0.0;
+    bool infeasible = false;
+    if (w0 > 0.0) {
+      if (!within_speed_cap(s0, plan.s_max)) {
+        s = infeasible_solution("closed-form-fork");
+        continue;
+      }
+      s0 = std::min(s0, plan.s_max);
+      s.speeds[root] = s0;
+      s.energy += inst.power_of(root).task_energy(w0, s0);
+    }
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (v == root) continue;
+      const double w = g.weight(v);
+      if (w == 0.0) continue;
+      const double sv = w / leaf_window;
+      if (!within_speed_cap(sv, plan.s_max)) {
+        infeasible = true;
+        break;
+      }
+      s.speeds[v] = std::min(sv, plan.s_max);
+      s.energy += inst.power_of(v).task_energy(w, s.speeds[v]);
+    }
+    if (infeasible) {
+      s = infeasible_solution("closed-form-fork");
+      continue;
+    }
+    s.feasible = true;
+
+    // The dispatcher's post-check: a feasible fork whose leaves run under
+    // the s_crit floor falls back to the numeric solver. The kernel hands
+    // those instances back to the scalar path (empty-method sentinel).
+    if (plan.floor > 0.0) {
+      bool under_floor = false;
+      for (graph::NodeId v = 0; v < n; ++v) {
+        if (g.weight(v) == 0.0) continue;
+        if (s.speeds[v] < plan.floor * (1.0 - 1e-12)) {
+          under_floor = true;
+          break;
+        }
+      }
+      if (under_floor) s = Solution{};
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<KernelPlan> plan_kernel(const Instance& instance,
+                                      const model::EnergyModel& model,
+                                      const SolveOptions& options) {
+  const auto* continuous = std::get_if<model::ContinuousModel>(&model);
+  if (continuous == nullptr) return std::nullopt;
+  const auto& g = instance.exec_graph;
+  const std::size_t n = g.num_nodes();
+  if (n == 0 || instance.deadline <= 0.0) return std::nullopt;
+  if (!instance.homogeneous_tasks()) return std::nullopt;
+
+  KernelPlan plan;
+  // Same structural predicates, in the dispatcher's classification order.
+  if (n == 1) {
+    plan.family = KernelFamily::kSingle;
+  } else if (graph::is_chain(g)) {
+    plan.family = KernelFamily::kChain;
+  } else if (graph::is_fork(g)) {
+    plan.family = KernelFamily::kFork;
+  } else {
+    return std::nullopt;
+  }
+
+  const auto& power = instance.power_of(0);
+  if (options.leakage == LeakageMode::kExact &&
+      plan.family == KernelFamily::kFork && power.has_static_power()) {
+    // Slack-bearing leaky fork: the exact route runs a barrier pass on
+    // top of the reduction — not batchable.
+    return std::nullopt;
+  }
+
+  plan.s_max = std::min(continuous->s_max, instance.cap_of(0));
+  if (options.continuous_s_min > plan.s_max) {
+    return std::nullopt;  // collapsed speed range: scalar special case
+  }
+  plan.floor = std::max(options.continuous_s_min,
+                        std::min(power.critical_speed(), plan.s_max));
+  if (plan.family == KernelFamily::kFork) {
+    plan.root = g.sources().front();
+    plan.alpha = power.alpha();
+  }
+  return plan;
+}
+
+bool kernel_run_compatible(const Instance& head, const Instance& other) {
+  if (other.deadline <= 0.0) return false;
+  const auto& a = head.exec_graph;
+  const auto& b = other.exec_graph;
+  const std::size_t n = a.num_nodes();
+  if (b.num_nodes() != n || b.num_edges() != a.num_edges()) return false;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (a.successors(v) != b.successors(v)) return false;
+  }
+  if (!other.homogeneous_tasks()) return false;
+  if (!(head.power_of(0) == other.power_of(0))) return false;
+  // Folded caps must agree (+inf == +inf included); weights and deadline
+  // are the run's free axes.
+  return head.cap_of(0) == other.cap_of(0);
+}
+
+void solve_kernel_run(const KernelPlan& plan,
+                      const Instance* const* instances, std::size_t count,
+                      Solution* out) {
+  switch (plan.family) {
+    case KernelFamily::kSingle:
+      run_single(plan, instances, count, out);
+      break;
+    case KernelFamily::kChain:
+      run_chain(plan, instances, count, out);
+      break;
+    case KernelFamily::kFork:
+      run_fork(plan, instances, count, out);
+      break;
+  }
+}
+
+}  // namespace reclaim::core

@@ -1,0 +1,90 @@
+// Structure-of-arrays kernels for the closed-form continuous families.
+//
+// Sweep workloads (Pareto curves, parameter grids, a daemon's steady
+// state) hand the engine thousands of instances that share one topology
+// and power model and differ only in task weights W and deadline D. The
+// scalar path pays per-instance dispatch for each of them: topology
+// classification, dispatch-cache and memo lookups, option plumbing, and
+// a handful of heap allocations — all to reach a closed form that is a
+// few multiplies. These kernels strip that overhead: the engine plans a
+// *run* once (plan_kernel on the head instance, kernel_run_compatible to
+// extend it) and then solves the whole run in one pass over the
+// instances with no per-instance dispatch, no scratch allocation, and no
+// cache traffic.
+//
+// Bit-identity contract: for every instance a kernel solves, the result
+// (feasible flag, energy, speeds, method string, iteration count) is
+// bit-identical to what the scalar path — engine dispatch ->
+// solve_continuous -> closed form -> speeds_solution — would produce.
+// The kernels guarantee this by replicating the scalar formulas with the
+// same operations in the same order (the same max/min clamps, the same
+// within_speed_cap checks, pow and summation order, and the same
+// node-id-order energy accumulation); tests/test_batch_kernels.cpp
+// fuzzes the equivalence. An instance a kernel cannot finish
+// bit-identically (a fork whose closed form violates the s_crit floor
+// and must fall back to the barrier solver) is left untouched — default
+// Solution with an empty method — and the engine re-solves it through
+// the scalar path.
+//
+// Eligibility (plan_kernel) mirrors the scalar routing exactly:
+//   - Continuous energy model, positive deadline, homogeneous tasks
+//     (one shared power model and processor cap).
+//   - Shape single / chain / fork by the same structural predicates the
+//     dispatcher uses (and in its classification order).
+//   - LeakageMode::kExact only where the s_crit reduction is provably
+//     exact a priori (always for single/chain under a homogeneous model;
+//     forks only without static power) — everywhere else the exact route
+//     runs a barrier pass and stays scalar.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/problem.hpp"
+#include "core/solve.hpp"
+#include "model/energy_model.hpp"
+
+namespace reclaim::core {
+
+enum class KernelFamily { kSingle, kChain, kFork };
+
+/// Shared per-run constants, derived once from the run's head instance:
+/// everything the closed form needs besides the per-instance W and D.
+struct KernelPlan {
+  KernelFamily family = KernelFamily::kSingle;
+  /// Effective speed cap: the model's global s_max folded with the
+  /// (shared) processor cap, exactly as solve_continuous folds it.
+  double s_max = 0.0;
+  /// Effective speed floor max(s_min, min(s_crit, s_max)) — the s_crit
+  /// reduction's clamp, shared by every task of a homogeneous instance.
+  double floor = 0.0;
+  /// Fork only: the root node and the shared dynamic exponent.
+  graph::NodeId root = 0;
+  double alpha = 0.0;
+};
+
+/// Returns the kernel plan when `instance` under `model` and `options`
+/// would take a batchable closed-form route through solve_continuous;
+/// std::nullopt otherwise. Pure structural/model predicates — never
+/// touches engine caches.
+[[nodiscard]] std::optional<KernelPlan> plan_kernel(
+    const Instance& instance, const model::EnergyModel& model,
+    const SolveOptions& options);
+
+/// True when `other` can share `head`'s plan: positive deadline, the
+/// same topology (node-for-node successor lists), homogeneous tasks
+/// under the same power model and processor cap. Weights and deadlines
+/// are free to differ — that is the batchable axis.
+[[nodiscard]] bool kernel_run_compatible(const Instance& head,
+                                         const Instance& other);
+
+/// Solves `count` instances of one run in a single pass under the shared
+/// plan, writing out[i] for instances[i]. Results are bit-identical to
+/// the scalar path; an instance the kernel must hand back (fork floor
+/// violation) leaves out[i] default-constructed with an empty method —
+/// the caller re-solves those scalar.
+void solve_kernel_run(const KernelPlan& plan,
+                      const Instance* const* instances, std::size_t count,
+                      Solution* out);
+
+}  // namespace reclaim::core

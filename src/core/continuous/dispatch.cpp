@@ -8,12 +8,38 @@
 #include "core/continuous/numeric_solver.hpp"
 #include "core/continuous/sp_solver.hpp"
 #include "core/continuous/tree_solver.hpp"
+#include "core/continuous/waterfill.hpp"
 #include "graph/classify.hpp"
 #include "graph/sp_tree.hpp"
+#include "util/arena.hpp"
 
 namespace reclaim::core {
 
 namespace {
+
+/// Copies the caller's shared warm-start speeds into `numeric_options`
+/// (using a recycled buffer, so steady-state sweeps allocate nothing)
+/// when the size matches the instance; no-op otherwise.
+void attach_warm_start(const Instance& instance,
+                       const ContinuousOptions& options,
+                       NumericOptions& numeric_options) {
+  if (!options.warm_start ||
+      options.warm_start->size() != instance.exec_graph.num_nodes()) {
+    return;
+  }
+  numeric_options.warm_start = util::Arena::scratch().lease_doubles();
+  numeric_options.warm_start.assign(options.warm_start->begin(),
+                                    options.warm_start->end());
+}
+
+/// Returns per-solve vector buffers leased through attach_warm_start and
+/// the effective-bounds helpers to the thread's pool.
+void recycle_numeric_buffers(NumericOptions& numeric_options) {
+  auto& arena = util::Arena::scratch();
+  arena.recycle_doubles(std::move(numeric_options.s_max_per_task));
+  arena.recycle_doubles(std::move(numeric_options.s_min_per_task));
+  arena.recycle_doubles(std::move(numeric_options.warm_start));
+}
 
 /// True when every positive-weight task runs at least at `floor`.
 bool respects_floor(const Instance& instance, const Solution& s, double floor) {
@@ -30,7 +56,10 @@ Solution numeric(const Instance& instance, const model::ContinuousModel& model,
   NumericOptions numeric_options;
   numeric_options.rel_gap = options.rel_gap;
   numeric_options.s_min = s_min;
-  return solve_numeric(instance, model, numeric_options);
+  attach_warm_start(instance, options, numeric_options);
+  Solution s = solve_numeric(instance, model, numeric_options);
+  recycle_numeric_buffers(numeric_options);
+  return s;
 }
 
 /// Per-task effective bounds of the s_crit reduction, shared by the
@@ -73,9 +102,15 @@ Solution solve_hetero(const Instance& instance,
   const auto& g = instance.exec_graph;
   const std::size_t n = g.num_nodes();
 
-  std::vector<double> caps;
-  std::vector<double> floors;
+  auto& arena = util::Arena::scratch();
+  std::vector<double> caps = arena.lease_doubles();
+  std::vector<double> floors = arena.lease_doubles();
+  const auto recycle_bounds = [&] {
+    arena.recycle_doubles(std::move(caps));
+    arena.recycle_doubles(std::move(floors));
+  };
   if (!effective_bounds(instance, model, options.s_min, caps, floors)) {
+    recycle_bounds();
     return infeasible_solution("numeric-barrier");
   }
 
@@ -91,10 +126,15 @@ Solution solve_hetero(const Instance& instance,
       shape = graph::GraphShape::kChain;
     }
     if (shape == graph::GraphShape::kSingleTask) {
-      return solve_single_hetero(instance, caps[0], floors[0]);
+      Solution s = solve_single_hetero(instance, caps[0], floors[0]);
+      recycle_bounds();
+      return s;
     }
     if (shape == graph::GraphShape::kChain) {
-      if (auto s = solve_chain_hetero(instance, caps, floors)) return *s;
+      if (auto s = solve_chain_hetero(instance, caps, floors)) {
+        recycle_bounds();
+        return *s;
+      }
     }
   }
 
@@ -102,7 +142,10 @@ Solution solve_hetero(const Instance& instance,
   numeric_options.rel_gap = options.rel_gap;
   numeric_options.s_max_per_task = std::move(caps);
   numeric_options.s_min_per_task = std::move(floors);
-  return solve_numeric(instance, model, numeric_options);
+  attach_warm_start(instance, options, numeric_options);
+  Solution s = solve_numeric(instance, model, numeric_options);
+  recycle_numeric_buffers(numeric_options);
+  return s;
 }
 
 /// True when the s_crit reduction provably attains the true leaky optimum
@@ -183,17 +226,33 @@ Solution solve_exact_leaky(const Instance& instance,
   // an infeasible reduction settles the exact question too.
   if (!reduction.feasible) return reduction;
 
-  std::vector<double> caps;
-  std::vector<double> floors;
+  auto& arena = util::Arena::scratch();
+  std::vector<double> caps = arena.lease_doubles();
+  std::vector<double> floors = arena.lease_doubles();
   if (!effective_bounds(instance, model, options.s_min, caps, floors)) {
+    arena.recycle_doubles(std::move(caps));
+    arena.recycle_doubles(std::move(floors));
     return reduction;  // unreachable: the reduction reported it infeasible
   }
-  NumericOptions numeric_options;
-  numeric_options.rel_gap = options.rel_gap;
-  numeric_options.exact_leakage = true;
-  numeric_options.s_max_per_task = std::move(caps);
-  numeric_options.s_min_per_task = std::move(floors);
-  Solution exact = solve_numeric(instance, model, numeric_options);
+
+  Solution exact;
+  if (options.shape_hint ? *options.shape_hint == graph::GraphShape::kChain
+                         : graph::is_chain(instance.exec_graph)) {
+    // Chains have a scalar exact solution (KKT waterfilling on the single
+    // coupling constraint); no second barrier run needed.
+    exact = solve_chain_waterfill(instance, caps, floors);
+    arena.recycle_doubles(std::move(caps));
+    arena.recycle_doubles(std::move(floors));
+  } else {
+    NumericOptions numeric_options;
+    numeric_options.rel_gap = options.rel_gap;
+    numeric_options.exact_leakage = true;
+    numeric_options.s_max_per_task = std::move(caps);
+    numeric_options.s_min_per_task = std::move(floors);
+    attach_warm_start(instance, options, numeric_options);
+    exact = solve_numeric(instance, model, numeric_options);
+    recycle_numeric_buffers(numeric_options);
+  }
 
   const double switch_tol = std::max(1e-7, 10.0 * options.rel_gap);
   if (exact.feasible && exact.energy < reduction.energy * (1.0 - switch_tol)) {

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
+#include <utility>
 
 #include "graph/topo.hpp"
 #include "opt/barrier.hpp"
 #include "sched/schedule.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
 
 namespace reclaim::core {
@@ -29,15 +32,18 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// exactly 0.0 everywhere and stays bit-identical).
 class EnergyObjective final : public opt::ConvexObjective {
  public:
-  EnergyObjective(const Instance& instance, bool exact_leakage)
-      : n_(instance.exec_graph.num_nodes()) {
-    weights_.reserve(n_);
-    alphas_.reserve(n_);
-    statics_.reserve(n_);
+  /// Coefficient arrays live in the caller's arena scope (no heap
+  /// traffic per solve); the objective must not outlive that scope.
+  EnergyObjective(const Instance& instance, bool exact_leakage,
+                  util::Arena& arena)
+      : n_(instance.exec_graph.num_nodes()),
+        weights_(arena.alloc<double>(n_)),
+        alphas_(arena.alloc<double>(n_)),
+        statics_(arena.alloc<double>(n_)) {
     for (graph::NodeId v = 0; v < n_; ++v) {
-      weights_.push_back(instance.exec_graph.weight(v));
-      alphas_.push_back(instance.power_of(v).alpha());
-      statics_.push_back(exact_leakage ? instance.power_of(v).p_static() : 0.0);
+      weights_[v] = instance.exec_graph.weight(v);
+      alphas_[v] = instance.power_of(v).alpha();
+      statics_[v] = exact_leakage ? instance.power_of(v).p_static() : 0.0;
     }
   }
 
@@ -78,10 +84,18 @@ class EnergyObjective final : public opt::ConvexObjective {
 
  private:
   std::size_t n_;
-  std::vector<double> weights_;
-  std::vector<double> alphas_;
-  std::vector<double> statics_;
+  std::span<double> weights_;
+  std::span<double> alphas_;
+  std::span<double> statics_;
 };
+
+/// Per-thread reusable inequality buffer. Rebuilding constraints into the
+/// same elements keeps every inner `terms` vector's capacity, so in
+/// steady state constraint assembly performs no allocations at all.
+std::vector<opt::SparseInequality>& pooled_ineqs() {
+  thread_local std::vector<opt::SparseInequality> pool;
+  return pool;
+}
 
 }  // namespace
 
@@ -144,6 +158,12 @@ Solution solve_numeric(const Instance& instance,
     return s;
   }
 
+  // All per-solve scratch below lives in the thread's arena and is
+  // released wholesale on return; repeated solves on one thread reuse the
+  // same blocks (no steady-state allocation on the hot path).
+  auto& arena = util::Arena::scratch();
+  const util::Arena::Scope scratch_scope(arena);
+
   const double critical = critical_weight(g);
   if (critical == 0.0) {
     // All-zero weights: nothing to run.
@@ -180,7 +200,7 @@ Solution solve_numeric(const Instance& instance,
 
   // Strictly feasible start point.
   la::Vector x0(2 * n, 0.0);
-  std::vector<double> durations(n, 0.0);
+  const std::span<double> durations = arena.alloc<double>(n);
   double pad = 0.0;
   if (!heterogeneous) {
     // Uniform speed strictly between the minimal feasible uniform speed
@@ -232,49 +252,161 @@ Solution solve_numeric(const Instance& instance,
   // Variables: x[0..n) completion times, x[n..2n) durations.
   const auto order = graph::topological_order(g);
   util::require(order.has_value(), "numeric solver requires a DAG");
-  {
-    std::vector<double> earliest(n, 0.0);
+  // Topological start-point assembly shared by the cold and warm starts:
+  // stack completion times with a per-position pad so every precedence
+  // residual is strictly positive.
+  const auto assemble_start = [&](std::span<const double> durs, double pad_amt,
+                                  std::span<double> earliest, la::Vector& x) {
     std::size_t position = 0;
     for (graph::NodeId v : *order) {
       double start = 0.0;
       for (graph::NodeId p : g.predecessors(v)) start = std::max(start, earliest[p]);
-      earliest[v] = start + durations[v];
-      x0[v] = earliest[v] + pad * static_cast<double>(position + 1);
-      x0[n + v] = durations[v];
+      earliest[v] = start + durs[v];
+      x[v] = earliest[v] + pad_amt * static_cast<double>(position + 1);
+      x[n + v] = durs[v];
       ++position;
+    }
+  };
+  {
+    const std::span<double> earliest = arena.alloc<double>(n);
+    assemble_start(durations, pad, earliest, x0);
+  }
+
+  // Optional warm start: derive a second candidate start point from the
+  // caller's speeds (a neighbor solution during sweeps). Every duration is
+  // nudged strictly inside its constraint band — a deadline-tight donor
+  // still yields a strictly feasible point — and the candidate is dropped
+  // (falling back to the bit-identical cold path) whenever any residual
+  // fails to be strictly positive.
+  la::Vector x0_warm;
+  bool warm_ready = false;
+  if (options.warm_start.size() == n) {
+    const std::span<double> warm_durations = arena.alloc<double>(n);
+    warm_ready = true;
+    constexpr double kWarmBoost = 0.01;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const double w = g.weight(v);
+      if (w == 0.0) continue;  // padded below, like the cold start
+      const double ws = options.warm_start[v];
+      if (!std::isfinite(ws) || ws <= 0.0) {
+        warm_ready = false;
+        break;
+      }
+      double d = w / (ws * (1.0 + kWarmBoost));
+      const double lo = min_durations[v];
+      double hi = kInf;
+      if (s_min > 0.0) hi = std::min(hi, w / s_min);
+      if (floor_active(v)) hi = std::min(hi, w / floor_of(v));
+      if (hi < kInf) {
+        const double band = hi - lo;
+        if (band <= 0.0) {
+          warm_ready = false;
+          break;
+        }
+        d = std::clamp(d, lo + 0.02 * band, hi - 0.02 * band);
+      } else if (d <= lo) {
+        d = lo * (1.0 + 1e-6);  // donor speed at/above the cap: back off
+      }
+      warm_durations[v] = d;
+    }
+    if (warm_ready) {
+      const std::span<double> warm_earliest = arena.alloc<double>(n);
+      double warm_makespan = 0.0;
+      for (graph::NodeId v : *order) {
+        double start = 0.0;
+        for (graph::NodeId p : g.predecessors(v))
+          start = std::max(start, warm_earliest[p]);
+        warm_earliest[v] = start + warm_durations[v];
+        warm_makespan = std::max(warm_makespan, warm_earliest[v]);
+      }
+      const double slack = deadline - warm_makespan;
+      if (slack > deadline * 1e-12) {
+        const double warm_pad = slack / (8.0 * static_cast<double>(n + 1));
+        for (graph::NodeId v = 0; v < n; ++v) {
+          if (g.weight(v) == 0.0) warm_durations[v] = warm_pad * 0.5;
+        }
+        x0_warm.assign(2 * n, 0.0);
+        assemble_start(warm_durations, warm_pad, warm_earliest, x0_warm);
+      } else {
+        warm_ready = false;
+      }
     }
   }
 
-  // Constraint assembly (all as terms . x <= rhs).
-  std::vector<opt::SparseInequality> ineqs;
-  ineqs.reserve(g.num_edges() + 3 * n);
+  // Constraint assembly (all as terms . x <= rhs), into the per-thread
+  // pooled buffer so steady-state assembly allocates nothing.
+  auto& ineqs = pooled_ineqs();
+  std::size_t used = 0;
+  const auto add_ineq =
+      [&](std::initializer_list<std::pair<std::size_t, double>> terms,
+          double rhs) {
+        if (used == ineqs.size()) ineqs.emplace_back();
+        auto& q = ineqs[used];
+        q.terms.assign(terms);
+        q.rhs = rhs;
+        ++used;
+      };
   for (const graph::Edge& e : g.edges()) {
     // t_i + d_j - t_j <= 0.
-    ineqs.push_back({{{e.from, 1.0}, {n + e.to, 1.0}, {e.to, -1.0}}, 0.0});
+    add_ineq({{e.from, 1.0}, {n + e.to, 1.0}, {e.to, -1.0}}, 0.0);
   }
   for (graph::NodeId v = 0; v < n; ++v) {
     // d_v - t_v <= 0 (start time >= 0).
-    ineqs.push_back({{{n + v, 1.0}, {v, -1.0}}, 0.0});
+    add_ineq({{n + v, 1.0}, {v, -1.0}}, 0.0);
     // t_v <= D.
-    ineqs.push_back({{{v, 1.0}}, deadline});
+    add_ineq({{v, 1.0}}, deadline);
     // -d_v <= -w_v / cap_v  (speed cap; reduces to d_v >= 0 when uncapped).
-    ineqs.push_back({{{n + v, -1.0}}, -min_durations[v]});
+    add_ineq({{n + v, -1.0}}, -min_durations[v]);
     // d_v <= w_v / s_min (speed floor: Theorem 5's restricted relaxation,
     // or a heterogeneous platform's per-task s_crit floor).
     const double w = g.weight(v);
     if (w > 0.0 && s_min > 0.0) {
-      ineqs.push_back({{{n + v, 1.0}}, w / s_min});
+      add_ineq({{n + v, 1.0}}, w / s_min);
     }
     if (w > 0.0 && floor_active(v)) {
-      ineqs.push_back({{{n + v, 1.0}}, w / floor_of(v)});
+      add_ineq({{n + v, 1.0}}, w / floor_of(v));
+    }
+  }
+  if (ineqs.size() > used) ineqs.resize(used);
+
+  if (warm_ready) {
+    for (const auto& q : ineqs) {
+      if (q.residual(x0_warm) <= 0.0) {
+        warm_ready = false;
+        break;
+      }
     }
   }
 
-  const EnergyObjective objective(instance, options.exact_leakage);
+  const EnergyObjective objective(instance, options.exact_leakage, arena);
   opt::BarrierOptions barrier_options;
   barrier_options.rel_gap = options.rel_gap;
-  const opt::BarrierResult result =
-      opt::minimize_with_barrier(objective, ineqs, std::move(x0), barrier_options);
+
+  opt::BarrierResult result;
+  bool have_result = false;
+  if (warm_ready) {
+    // A near-optimal start makes the early (small-t) barrier stages pure
+    // overhead — they drag the iterate toward the analytic center and
+    // back. Start the continuation at a high barrier weight instead; the
+    // stop criterion (m/t <= rel_gap) is unchanged, so the result meets
+    // the same gap target, and the guard below still protects quality.
+    opt::BarrierOptions warm_barrier = barrier_options;
+    warm_barrier.t0 = 1e4;
+    // Acceptance guard: the warm result must be at least as good as the
+    // cold start point it replaced; otherwise the cold solve runs and the
+    // outcome is bit-identical to a run without warm_start.
+    const double cold_reference = objective.value(x0);
+    opt::BarrierResult warm = opt::minimize_with_barrier(
+        objective, ineqs, std::move(x0_warm), warm_barrier);
+    if (warm.objective <= cold_reference) {
+      result = std::move(warm);
+      have_result = true;
+    }
+  }
+  if (!have_result) {
+    result = opt::minimize_with_barrier(objective, ineqs, std::move(x0),
+                                        barrier_options);
+  }
 
   Solution s;
   s.method = method;

@@ -1,0 +1,84 @@
+#include "core/continuous/waterfill.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace reclaim::core {
+
+Solution solve_chain_waterfill(const Instance& instance,
+                               const std::vector<double>& caps,
+                               const std::vector<double>& floors) {
+  static constexpr const char* kMethod = "waterfill-exact-leaky";
+  const auto& g = instance.exec_graph;
+  const std::size_t n = g.num_nodes();
+  const double deadline = instance.deadline;
+
+  // KKT speed of task v under deadline multiplier lambda, clamped into its
+  // effective band. floors_v <= caps_v by construction (effective_bounds).
+  const auto speed_at = [&](graph::NodeId v, double lambda) {
+    const auto& power = instance.power_of(v);
+    const double alpha = power.alpha();
+    const double s =
+        std::pow((power.p_static() + lambda) / (alpha - 1.0), 1.0 / alpha);
+    return std::clamp(s, std::min(floors[v], caps[v]), caps[v]);
+  };
+  const auto makespan_at = [&](double lambda) {
+    double t = 0.0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const double w = g.weight(v);
+      if (w > 0.0) t += w / speed_at(v, lambda);
+    }
+    return t;
+  };
+
+  double lambda = 0.0;
+  std::size_t iterations = 0;
+  if (makespan_at(0.0) > deadline) {
+    // Bracket the root of T(lambda) = D by doubling, then bisect keeping
+    // the T <= D side so the returned schedule is always deadline-feasible.
+    double lo = 0.0;
+    double hi = 1.0;
+    std::size_t doublings = 0;
+    while (makespan_at(hi) > deadline && doublings < 200) {
+      lo = hi;
+      hi *= 2.0;
+      ++doublings;
+    }
+    if (makespan_at(hi) > deadline) {
+      // Every speed is pinned at its cap and the chain still overruns:
+      // the all-at-cap schedule is the only candidate. Within the shared
+      // feasibility tolerance it counts (the caller's reduction solve has
+      // already settled strict infeasibility).
+      double at_cap = 0.0;
+      std::vector<double> speeds(n, 0.0);
+      for (graph::NodeId v = 0; v < n; ++v) {
+        const double w = g.weight(v);
+        if (w == 0.0) continue;
+        speeds[v] = caps[v];
+        at_cap += w / caps[v];
+      }
+      if (!within_deadline(at_cap, deadline)) return infeasible_solution(kMethod);
+      return speeds_solution(instance, speeds, kMethod);
+    }
+    while (hi - lo > 1e-15 * std::max(1.0, hi) && iterations < 500) {
+      const double mid = 0.5 * (lo + hi);
+      if (makespan_at(mid) > deadline) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+      ++iterations;
+    }
+    lambda = hi;
+  }
+
+  std::vector<double> speeds(n, 0.0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (g.weight(v) > 0.0) speeds[v] = speed_at(v, lambda);
+  }
+  Solution s = speeds_solution(instance, speeds, kMethod);
+  s.iterations = iterations;
+  return s;
+}
+
+}  // namespace reclaim::core

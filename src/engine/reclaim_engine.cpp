@@ -1,11 +1,13 @@
 #include "engine/reclaim_engine.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <exception>
 #include <future>
 #include <mutex>
 #include <utility>
 
+#include "core/continuous/batch_kernels.hpp"
 #include "core/continuous/dispatch.hpp"
 #include "core/continuous/race_to_idle.hpp"
 #include "core/discrete/chain_dp.hpp"
@@ -13,6 +15,7 @@
 #include "core/discrete/round_up.hpp"
 #include "core/vdd/lp_solver.hpp"
 #include "engine/instance_key.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
 
 namespace reclaim::engine {
@@ -43,7 +46,7 @@ std::size_t ReclaimEngine::threads() const noexcept {
 }
 
 ReclaimEngine::ShapeEntry ReclaimEngine::shape_of(const graph::Digraph& g) {
-  if (!options_.reuse_shapes) return {graph::classify(g), nullptr};
+  if (!options_.reuse_shapes) return {graph::classify(g), nullptr, nullptr};
   const std::string key = topology_key(g);
   {
     const std::shared_lock lock(shape_mutex_);
@@ -53,7 +56,7 @@ ReclaimEngine::ShapeEntry ReclaimEngine::shape_of(const graph::Digraph& g) {
       return it->second;
     }
   }
-  ShapeEntry entry{graph::classify(g), nullptr};
+  ShapeEntry entry{graph::classify(g), nullptr, nullptr};
   if (entry.shape == graph::GraphShape::kSeriesParallel) {
     // Decompose once at cache-fill time; every later solve of this
     // topology reuses the tree via ContinuousOptions::sp_hint.
@@ -61,9 +64,15 @@ ReclaimEngine::ShapeEntry ReclaimEngine::shape_of(const graph::Digraph& g) {
       entry.sp_tree = std::make_shared<const graph::SpTree>(std::move(*tree));
     }
   }
+  if (options_.warm_start) {
+    // One warm-start slot per cached topology; solves of this shape seed
+    // (and are seeded by) each other through it.
+    entry.warm = std::make_shared<WarmSlot>();
+  }
   const std::unique_lock lock(shape_mutex_);
-  shapes_.emplace(key, entry);
-  return entry;
+  // Two workers may race to fill the same key; keep the first entry so
+  // every solve of this topology shares one warm slot.
+  return shapes_.emplace(key, std::move(entry)).first->second;
 }
 
 core::Solution ReclaimEngine::dispatch(const core::Instance& instance,
@@ -104,7 +113,30 @@ core::Solution ReclaimEngine::dispatch(const core::Instance& instance,
           continuous_options.leakage = options.leakage;
           continuous_options.shape_hint = shape;
           continuous_options.sp_hint = entry.sp_tree;
-          return core::solve_continuous(instance, m, continuous_options);
+          if (options_.warm_start && entry.warm) {
+            // Seed from the last numeric solution of this topology. The
+            // solver's acceptance guard rejects stale or infeasible seeds
+            // (falling back to the bit-identical cold solve), so sharing
+            // one slot across a sweep is always safe.
+            {
+              const std::lock_guard lock(entry.warm->mutex);
+              continuous_options.warm_start = entry.warm->speeds;
+            }
+            if (continuous_options.warm_start) {
+              warm_solves_.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          core::Solution s = core::solve_continuous(instance, m, continuous_options);
+          if (options_.warm_start && entry.warm && s.feasible &&
+              !s.speeds.empty() &&
+              (s.method == "numeric-barrier" ||
+               s.method == "numeric-exact-leaky")) {
+            auto snapshot =
+                std::make_shared<const std::vector<double>>(s.speeds);
+            const std::lock_guard lock(entry.warm->mutex);
+            entry.warm->speeds = std::move(snapshot);
+          }
+          return s;
         } else if constexpr (std::is_same_v<M, model::VddHoppingModel>) {
           return core::solve_vdd_lp(instance, m).solution;  // unreachable
         } else if constexpr (std::is_same_v<M, model::DiscreteModel>) {
@@ -188,16 +220,16 @@ core::Solution ReclaimEngine::solve_mapped(const MappedInstance& mapped,
 }
 
 std::vector<core::Solution> ReclaimEngine::run_batch(
-    std::size_t n, const std::function<core::Solution(std::size_t)>& solve_at) {
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, core::Solution*)>&
+        solve_range) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   std::vector<core::Solution> out(n);
   if (n == 0) return out;
 
   const std::size_t workers = pool_ ? std::min(pool_->size(), n) : 1;
   if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) {
-      out[i] = solve_at(i);
-    }
+    solve_range(0, n, out.data());
     return out;
   }
 
@@ -212,17 +244,15 @@ std::vector<core::Solution> ReclaimEngine::run_batch(
       const std::size_t lo = cursor.fetch_add(chunk, std::memory_order_relaxed);
       if (lo >= n) return;
       const std::size_t hi = std::min(n, lo + chunk);
-      for (std::size_t i = lo; i < hi; ++i) {
-        try {
-          out[i] = solve_at(i);
-        } catch (...) {
-          {
-            const std::lock_guard lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
-          }
-          abort.store(true, std::memory_order_relaxed);
-          return;
+      try {
+        solve_range(lo, hi, out.data());
+      } catch (...) {
+        {
+          const std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
         }
+        abort.store(true, std::memory_order_relaxed);
+        return;
       }
     }
   };
@@ -236,20 +266,137 @@ std::vector<core::Solution> ReclaimEngine::run_batch(
   return out;
 }
 
+std::vector<core::Solution> ReclaimEngine::kernel_batch(
+    std::size_t n,
+    const std::function<const core::Instance&(std::size_t)>& instance_at,
+    const std::function<bool(std::size_t)>& kernel_ok,
+    const model::EnergyModel& model, const core::SolveOptions& options,
+    const std::function<core::Solution(std::size_t)>& solve_scalar) {
+  // Plan homogeneous runs on the caller's thread before the drain starts.
+  // plan_of[i] holds (plan index + 1) for kernel-routed instances, 0 for
+  // scalar ones; runs shorter than kKernelMinRun stay scalar (planning a
+  // tiny run costs more than it saves).
+  std::vector<core::KernelPlan> plans;
+  std::vector<std::uint32_t> plan_of(n, 0);
+  bool any_kernel = false;
+  std::size_t i = 0;
+  while (i < n) {
+    if (!kernel_ok(i)) {
+      ++i;
+      continue;
+    }
+    const core::Instance& head = instance_at(i);
+    const auto plan = core::plan_kernel(head, model, options);
+    if (!plan) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < n && kernel_ok(j) &&
+           core::kernel_run_compatible(head, instance_at(j))) {
+      ++j;
+    }
+    if (j - i >= kKernelMinRun) {
+      plans.push_back(*plan);
+      const auto tag = static_cast<std::uint32_t>(plans.size());
+      for (std::size_t k = i; k < j; ++k) plan_of[k] = tag;
+      any_kernel = true;
+    }
+    i = j;
+  }
+
+  if (!any_kernel) {
+    return run_batch(n, [&](std::size_t lo, std::size_t hi,
+                            core::Solution* out) {
+      for (std::size_t k = lo; k < hi; ++k) out[k] = solve_scalar(k);
+    });
+  }
+
+  return run_batch(n, [&](std::size_t lo, std::size_t hi,
+                          core::Solution* out) {
+    auto& arena = util::Arena::scratch();
+    const util::Arena::Scope scope(arena);
+    auto ptrs = arena.alloc<const core::Instance*>(hi - lo);
+    std::size_t k = lo;
+    while (k < hi) {
+      const std::uint32_t tag = plan_of[k];
+      if (tag == 0) {
+        out[k] = solve_scalar(k);
+        ++k;
+        continue;
+      }
+      // Contiguous segment of one planned run inside this chunk: solve it
+      // in a single kernel pass, bypassing per-instance dispatch and the
+      // memo (the kernel is cheaper than a memo probe).
+      std::size_t seg_end = k;
+      while (seg_end < hi && plan_of[seg_end] == tag) {
+        ptrs[seg_end - k] = &instance_at(seg_end);
+        ++seg_end;
+      }
+      core::solve_kernel_run(plans[tag - 1], ptrs.data(), seg_end - k,
+                             out + k);
+      std::size_t solved = 0;
+      for (std::size_t s = k; s < seg_end; ++s) {
+        if (out[s].method.empty()) {
+          // Kernel handed the instance back (fork floor violation):
+          // re-solve through the scalar path, which does its own
+          // accounting.
+          out[s] = solve_scalar(s);
+        } else {
+          ++solved;
+        }
+      }
+      instances_.fetch_add(solved, std::memory_order_relaxed);
+      fresh_solves_.fetch_add(solved, std::memory_order_relaxed);
+      kernel_solves_.fetch_add(solved, std::memory_order_relaxed);
+      k = seg_end;
+    }
+  });
+}
+
 std::vector<core::Solution> ReclaimEngine::solve_batch(
     std::span<const core::Instance> instances, const model::EnergyModel& model,
     const core::SolveOptions& options) {
-  return run_batch(instances.size(), [&](std::size_t i) {
+  const auto solve_scalar = [&](std::size_t i) {
     return solve_routed(instances[i], model, options);
-  });
+  };
+  if (!options_.use_kernels) {
+    return run_batch(
+        instances.size(),
+        [&](std::size_t lo, std::size_t hi, core::Solution* out) {
+          for (std::size_t i = lo; i < hi; ++i) out[i] = solve_scalar(i);
+        });
+  }
+  return kernel_batch(
+      instances.size(),
+      [&](std::size_t i) -> const core::Instance& { return instances[i]; },
+      [](std::size_t) { return true; }, model, options, solve_scalar);
 }
 
 std::vector<core::Solution> ReclaimEngine::solve_batch(
     std::span<const MappedInstance> instances, const model::EnergyModel& model,
     const core::SolveOptions& options) {
-  return run_batch(instances.size(), [&](std::size_t i) {
+  const auto solve_scalar = [&](std::size_t i) {
     return solve_mapped(instances[i], model, options);
-  });
+  };
+  if (!options_.use_kernels) {
+    return run_batch(
+        instances.size(),
+        [&](std::size_t lo, std::size_t hi, core::Solution* out) {
+          for (std::size_t i = lo; i < hi; ++i) out[i] = solve_scalar(i);
+        });
+  }
+  return kernel_batch(
+      instances.size(),
+      [&](std::size_t i) -> const core::Instance& {
+        return instances[i].instance;
+      },
+      [&](std::size_t i) {
+        // Sleep-enabled platforms take the race-to-idle route, which the
+        // kernels do not model; everything else shares the plain route.
+        return !instances[i].instance.platform.has_sleep();
+      },
+      model, options, solve_scalar);
 }
 
 core::Solution ReclaimEngine::solve_one(const core::Instance& instance,
@@ -300,6 +447,8 @@ EngineStats ReclaimEngine::stats() const {
   s.shape_hits = shape_hits_.load(std::memory_order_relaxed);
   s.raced_solves = raced_solves_.load(std::memory_order_relaxed);
   s.crawl_solves = crawl_solves_.load(std::memory_order_relaxed);
+  s.kernel_solves = kernel_solves_.load(std::memory_order_relaxed);
+  s.warm_solves = warm_solves_.load(std::memory_order_relaxed);
   const CacheStats memo = memo_.stats();
   s.memo_entries = memo.entries;
   s.memo_bytes = memo.bytes;
@@ -323,6 +472,8 @@ void ReclaimEngine::clear_caches() {
   shape_hits_.store(0);
   raced_solves_.store(0);
   crawl_solves_.store(0);
+  kernel_solves_.store(0);
+  warm_solves_.store(0);
 }
 
 }  // namespace reclaim::engine

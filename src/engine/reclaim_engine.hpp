@@ -31,6 +31,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -67,7 +68,30 @@ struct EngineOptions {
   /// Route Discrete/Incremental chains too large for branch-and-bound to
   /// the pseudo-polynomial chain DP instead of CONT-ROUND.
   bool chain_dp = true;
+  /// Detect homogeneous closed-form runs inside solve_batch (>=
+  /// kKernelMinRun consecutive instances sharing topology, power model
+  /// and cap) and solve them through the structure-of-arrays kernels
+  /// (core/continuous/batch_kernels) instead of per-instance dispatch.
+  /// Results are bit-identical to the scalar path; kernel-path solves
+  /// bypass the memo (they are cheaper than a memo probe) and are
+  /// reported separately via EngineStats::kernel_solves.
+  bool use_kernels = true;
+  /// Seed numeric/barrier solves from the last solution of the same
+  /// topology (the dispatch-cache shape is the memo slot), so parameter
+  /// sweeps warm-start neighbor solves. The solver's acceptance guard
+  /// (strictly feasible start + objective no worse than the cold start)
+  /// keeps results deterministic given the solve order; they may differ
+  /// from cold solves only within the duality-gap target, which is why
+  /// this is opt-in — the default engine stays bit-identical across
+  /// thread counts. Requires reuse_shapes.
+  bool warm_start = false;
 };
+
+/// Minimum consecutive compatible instances before solve_batch routes a
+/// run through the batched kernels; shorter runs stay scalar (the plan
+/// amortizes over the run, and tiny runs would pay more in planning than
+/// they save).
+inline constexpr std::size_t kKernelMinRun = 4;
 
 /// Cumulative counters since construction (or the last clear_caches()).
 /// Every counter is a relaxed atomic inside the engine, so stats() may be
@@ -85,6 +109,12 @@ struct EngineStats {
   /// where racing strictly won vs where the crawl stayed optimal.
   std::size_t raced_solves = 0;
   std::size_t crawl_solves = 0;
+  /// Fast-path split of the fresh solves: instances solved by the batched
+  /// closed-form kernels (a subset of fresh_solves; the remainder took
+  /// the scalar dispatch path) and barrier solves that received a warm
+  /// seed from the dispatch cache (EngineOptions::warm_start).
+  std::size_t kernel_solves = 0;
+  std::size_t warm_solves = 0;
   /// Long-lived memo surface (engine/solution_cache.hpp): live entries,
   /// estimated bytes, LRU evictions so far, and how stale the coldest
   /// entry is.
@@ -164,12 +194,24 @@ class ReclaimEngine {
   void clear_caches();
 
  private:
+  /// Last numeric solution of one topology, shared through the dispatch
+  /// cache so sweeps can seed neighbor solves (EngineOptions::warm_start).
+  /// The speeds snapshot is copy-on-write: readers take the shared_ptr
+  /// under the slot mutex and release it immediately, writers swap in a
+  /// fresh vector — solves never hold the lock.
+  struct WarmSlot {
+    std::mutex mutex;
+    std::shared_ptr<const std::vector<double>> speeds;
+  };
+
   /// Cached structural analysis of one topology: the classification plus,
   /// for series-parallel graphs, the decomposition tree (so repeated SP
-  /// shapes skip the decomposition, their dominant structural cost).
+  /// shapes skip the decomposition, their dominant structural cost), plus
+  /// the warm-start slot when warm starts are enabled.
   struct ShapeEntry {
     graph::GraphShape shape = graph::GraphShape::kGeneral;
     std::shared_ptr<const graph::SpTree> sp_tree;
+    std::shared_ptr<WarmSlot> warm;
   };
 
   core::Solution solve_routed(const core::Instance& instance,
@@ -183,11 +225,25 @@ class ReclaimEngine {
                           const core::SolveOptions& options);
   ShapeEntry shape_of(const graph::Digraph& g);
   /// Shared dynamic-chunking drain loop of both solve_batch overloads:
-  /// slot i of the result is solve_at(i); the first exception aborts the
-  /// batch and is rethrown on the caller's thread.
+  /// solve_range(lo, hi, out) fills out[lo..hi) (out points at the full
+  /// result array); the first exception aborts the batch and is rethrown
+  /// on the caller's thread. Range-based so kernel segments inside a
+  /// chunk are solved in one pass.
   std::vector<core::Solution> run_batch(
       std::size_t n,
-      const std::function<core::Solution(std::size_t)>& solve_at);
+      const std::function<void(std::size_t, std::size_t, core::Solution*)>&
+          solve_range);
+  /// Kernel-aware batch driver shared by both solve_batch overloads:
+  /// plans homogeneous closed-form runs on the caller's thread (cheap
+  /// structural predicates only — never touches the shape cache), then
+  /// drains through run_batch solving kernel segments in one pass per
+  /// chunk and everything else via solve_scalar.
+  std::vector<core::Solution> kernel_batch(
+      std::size_t n,
+      const std::function<const core::Instance&(std::size_t)>& instance_at,
+      const std::function<bool(std::size_t)>& kernel_ok,
+      const model::EnergyModel& model, const core::SolveOptions& options,
+      const std::function<core::Solution(std::size_t)>& solve_scalar);
 
   EngineOptions options_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< null when threads == 1
@@ -204,6 +260,8 @@ class ReclaimEngine {
   std::atomic<std::size_t> shape_hits_{0};
   std::atomic<std::size_t> raced_solves_{0};
   std::atomic<std::size_t> crawl_solves_{0};
+  std::atomic<std::size_t> kernel_solves_{0};
+  std::atomic<std::size_t> warm_solves_{0};
 };
 
 }  // namespace reclaim::engine

@@ -346,6 +346,8 @@ void put_stats_reply(std::string& out, const StatsReply& stats) {
   put_u64(out, stats.memo_oldest_age_ms);
   put_u64(out, stats.raced_solves);
   put_u64(out, stats.crawl_solves);
+  put_u64(out, stats.kernel_solves);
+  put_u64(out, stats.warm_solves);
   put_u32(out, static_cast<std::uint32_t>(stats.clients.size()));
   for (const StatsReply::Client& client : stats.clients) {
     put_u64(out, client.id);
@@ -373,6 +375,8 @@ StatsReply read_stats_reply(Reader& in) {
   stats.memo_oldest_age_ms = in.u64();
   stats.raced_solves = in.u64();
   stats.crawl_solves = in.u64();
+  stats.kernel_solves = in.u64();
+  stats.warm_solves = in.u64();
   const std::uint32_t clients = in.u32();
   stats.clients.reserve(clients);
   for (std::uint32_t c = 0; c < clients; ++c) {

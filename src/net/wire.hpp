@@ -23,7 +23,9 @@
 
 namespace reclaim::net {
 
-inline constexpr std::uint8_t kWireVersion = 1;
+/// Version 2 extends STATS_REPLY with the kernel_solves/warm_solves
+/// fast-path counters; everything else is unchanged from version 1.
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /// Message type byte (docs/serve_protocol.md, "Message types").
 enum class MessageType : std::uint8_t {
@@ -110,6 +112,8 @@ struct StatsReply {
   std::uint64_t memo_oldest_age_ms = 0;
   std::uint64_t raced_solves = 0;
   std::uint64_t crawl_solves = 0;
+  std::uint64_t kernel_solves = 0;
+  std::uint64_t warm_solves = 0;
 
   struct Client {
     std::uint64_t id = 0;

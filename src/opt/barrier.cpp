@@ -50,6 +50,8 @@ BarrierResult minimize_with_barrier(const ConvexObjective& objective,
   la::Vector grad(dim);
   la::Vector residuals(ineqs.size());
   la::Matrix hess(dim, dim);
+  la::Vector rhs(dim);
+  la::Vector candidate(dim);
 
   double t = options.t0;
   for (std::size_t stage = 0; stage < options.max_stages; ++stage) {
@@ -85,7 +87,6 @@ BarrierResult minimize_with_barrier(const ConvexObjective& objective,
       {
         const double jitter = 1e-12 * std::max(1.0, hess.max_abs());
         const la::Cholesky chol(hess, jitter);
-        la::Vector rhs(dim);
         for (std::size_t i = 0; i < dim; ++i) rhs[i] = -grad[i];
         step = chol.solve(rhs);
       }
@@ -105,7 +106,6 @@ BarrierResult minimize_with_barrier(const ConvexObjective& objective,
       // Backtracking line search on phi_t.
       const double phi0 = barrier_value(objective, ineqs, t, result.x);
       double sigma = step_max;
-      la::Vector candidate(dim);
       for (std::size_t bt = 0; bt < 80; ++bt) {
         for (std::size_t i = 0; i < dim; ++i)
           candidate[i] = result.x[i] + sigma * step[i];

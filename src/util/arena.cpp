@@ -1,0 +1,93 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace reclaim::util {
+
+namespace {
+
+std::size_t align_up(std::size_t offset, std::size_t align) {
+  return (offset + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t first_block_bytes)
+    : first_block_bytes_(std::max<std::size_t>(first_block_bytes, 64)) {
+  blocks_.emplace_back();
+  blocks_.front().storage.resize(first_block_bytes_);
+}
+
+void* Arena::raw_alloc(std::size_t bytes, std::size_t align) {
+  require((align & (align - 1)) == 0, "arena alignment must be a power of two");
+  for (;;) {
+    auto& storage = blocks_[block_].storage;
+    const auto base = reinterpret_cast<std::uintptr_t>(storage.data());
+    const std::size_t start = align_up(static_cast<std::size_t>(base) + used_, align) -
+                              static_cast<std::size_t>(base);
+    if (start + bytes <= storage.size()) {
+      used_ = start + bytes;
+      bytes_peak_ = std::max(bytes_peak_, bytes_used_through(block_, used_));
+      return storage.data() + start;
+    }
+    // Current block is full: move to the next (possibly brand new) block.
+    // Blocks double in size so any request eventually fits and the total
+    // number of blocks stays logarithmic in peak usage.
+    if (block_ + 1 == blocks_.size()) {
+      const std::size_t grown = blocks_.back().storage.size() * 2;
+      blocks_.emplace_back();
+      blocks_.back().storage.resize(std::max(grown, bytes + align));
+    }
+    ++block_;
+    used_ = 0;
+  }
+}
+
+void Arena::rewind(std::size_t block, std::size_t used) noexcept {
+  block_ = block;
+  used_ = used;
+}
+
+std::size_t Arena::bytes_used_through(std::size_t block, std::size_t used) const noexcept {
+  std::size_t total = used;
+  for (std::size_t b = 0; b < block; ++b) total += blocks_[b].storage.size();
+  return total;
+}
+
+std::vector<double> Arena::lease_doubles() {
+  if (double_pool_.empty()) return {};
+  std::vector<double> v = std::move(double_pool_.back());
+  double_pool_.pop_back();
+  v.clear();
+  return v;
+}
+
+void Arena::recycle_doubles(std::vector<double>&& v) noexcept {
+  if (v.capacity() == 0) return;
+  if (double_pool_.size() >= 16) return;  // bound retained memory
+  try {
+    double_pool_.push_back(std::move(v));
+  } catch (...) {
+    // Dropping the buffer is always safe; the pool is an optimization.
+  }
+}
+
+ArenaStats Arena::stats() const noexcept {
+  ArenaStats s;
+  for (const auto& b : blocks_) s.bytes_reserved += b.storage.size();
+  s.bytes_used = bytes_used_through(block_, used_);
+  s.bytes_peak = bytes_peak_;
+  s.blocks = blocks_.size();
+  s.pooled_vectors = double_pool_.size();
+  return s;
+}
+
+Arena& Arena::scratch() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace reclaim::util

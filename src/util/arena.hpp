@@ -1,0 +1,112 @@
+// Per-thread bump arena for per-solve scratch.
+//
+// The hot solve path (engine dispatch -> continuous dispatch -> numeric
+// solver) used to heap-allocate a dozen short-lived vectors per instance:
+// per-task durations, bounds, objective coefficient arrays, kernel
+// staging buffers. Under a sweep workload those allocations dominate the
+// cheap closed-form solves and serialize threads on the allocator. The
+// arena replaces them with pointer bumps into thread-local blocks that
+// are retained across solves: after a brief warm-up no steady-state
+// allocation happens at all, which tests/test_batch_kernels.cpp pins by
+// watching ArenaStats stay flat across repeated solves.
+//
+// Usage pattern (always scoped — the arena is a stack, not a free store):
+//
+//   auto& arena = util::Arena::scratch();
+//   const util::Arena::Scope scope(arena);
+//   std::span<double> durations = arena.alloc<double>(n);   // zero-filled
+//   ...                                // freed wholesale when scope exits
+//
+// Only trivially copyable/destructible element types are supported (no
+// destructors run at rewind). Allocations live until their enclosing
+// Scope is destroyed; Scopes nest like stack frames and must unwind in
+// LIFO order (enforced in debug via the saved marks).
+//
+// The arena also recycles std::vector<double> buffers (lease_doubles /
+// recycle_doubles) for the few call sites that must hand ownership to an
+// API taking vectors (NumericOptions per-task bounds): a leased vector
+// keeps its previous capacity, so steady-state refills allocate nothing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace reclaim::util {
+
+/// Snapshot of one arena's footprint (see Arena::stats()).
+struct ArenaStats {
+  std::size_t bytes_reserved = 0;  ///< total capacity of all blocks
+  std::size_t bytes_used = 0;      ///< currently inside live Scopes
+  std::size_t bytes_peak = 0;      ///< high-water mark of bytes_used
+  std::size_t blocks = 0;          ///< backing blocks allocated so far
+  std::size_t pooled_vectors = 0;  ///< recycled vector<double> buffers
+};
+
+class Arena {
+ public:
+  explicit Arena(std::size_t first_block_bytes = 1 << 16);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// RAII frame: every allocation made while the Scope is alive is
+  /// released when it goes out of scope (a pure pointer rewind).
+  class Scope {
+   public:
+    explicit Scope(Arena& arena)
+        : arena_(arena), block_(arena.block_), used_(arena.used_) {}
+    ~Scope() { arena_.rewind(block_, used_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Arena& arena_;
+    std::size_t block_;
+    std::size_t used_;
+  };
+
+  /// `count` value-initialized elements of trivial type T, aligned for T.
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "Arena holds trivial types only (nothing is destroyed)");
+    T* data = static_cast<T*>(raw_alloc(count * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < count; ++i) data[i] = T{};
+    return {data, count};
+  }
+
+  /// A (possibly recycled) empty vector with retained capacity. Pair with
+  /// recycle_doubles to make vector-consuming APIs allocation-free in
+  /// steady state.
+  [[nodiscard]] std::vector<double> lease_doubles();
+  void recycle_doubles(std::vector<double>&& v) noexcept;
+
+  [[nodiscard]] ArenaStats stats() const noexcept;
+
+  /// The calling thread's arena (created on first use, lives for the
+  /// thread). Every per-solve scratch user shares this one instance, so
+  /// its blocks are reused across solvers and across solves.
+  [[nodiscard]] static Arena& scratch();
+
+ private:
+  struct Block {
+    std::vector<char> storage;
+  };
+
+  [[nodiscard]] void* raw_alloc(std::size_t bytes, std::size_t align);
+  void rewind(std::size_t block, std::size_t used) noexcept;
+  [[nodiscard]] std::size_t bytes_used_through(std::size_t block,
+                                               std::size_t used) const noexcept;
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;  ///< block currently being bumped
+  std::size_t used_ = 0;   ///< bytes used inside blocks_[block_]
+  std::size_t bytes_peak_ = 0;
+  std::size_t first_block_bytes_;
+  std::vector<std::vector<double>> double_pool_;
+};
+
+}  // namespace reclaim::util

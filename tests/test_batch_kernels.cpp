@@ -1,0 +1,414 @@
+// Batched fast-path tests: kernel-vs-scalar bit-identity (fuzzed),
+// warm-start determinism under the acceptance guard, arena scratch reuse
+// (no steady-state allocation growth), and the EngineStats counters that
+// split kernel-path from scalar-path solves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/continuous/batch_kernels.hpp"
+#include "core/continuous/dispatch.hpp"
+#include "core/problem.hpp"
+#include "core/solve.hpp"
+#include "engine/reclaim_engine.hpp"
+#include "graph/generators.hpp"
+#include "model/energy_model.hpp"
+#include "util/arena.hpp"
+#include "util/rng.hpp"
+
+namespace rc = reclaim::core;
+namespace re = reclaim::engine;
+namespace rg = reclaim::graph;
+namespace rm = reclaim::model;
+namespace ru = reclaim::util;
+
+namespace {
+
+void expect_identical(const rc::Solution& a, const rc::Solution& b) {
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.energy, b.energy);  // bit-identical, not approximately equal
+  EXPECT_EQ(a.method, b.method);
+  ASSERT_EQ(a.speeds.size(), b.speeds.size());
+  for (std::size_t i = 0; i < a.speeds.size(); ++i) {
+    EXPECT_EQ(a.speeds[i], b.speeds[i]);
+  }
+}
+
+/// A homogeneous sweep: one topology family, shared power model, weights
+/// and deadlines varying per instance — exactly the shape the kernels
+/// batch. `tight_fraction` of the deadlines are squeezed toward D_min so
+/// cap-saturated and infeasible branches get exercised too.
+std::vector<rc::Instance> homogeneous_sweep(std::uint64_t seed,
+                                            std::size_t count,
+                                            const std::string& family,
+                                            rm::PowerModel power,
+                                            double tight_fraction = 0.25) {
+  ru::Rng rng(seed);
+  std::vector<rc::Instance> out;
+  out.reserve(count);
+  // One topology per sweep: same node count and edge set, varying weights.
+  const std::size_t n = 6;
+  std::vector<double> weights(family == "single" ? 1 : n);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (double& w : weights) w = rng.uniform(0.5, 4.0);
+    if (i % 7 == 3 && weights.size() > 2) weights[1] = 0.0;  // zero-weight task
+    rg::Digraph g = family == "chain"  ? rg::make_chain(weights)
+                    : family == "fork" ? rg::make_fork(weights)
+                                       : rg::make_chain({weights[0]});
+    const double d_min = rc::min_deadline(g, 2.0);
+    const double slack =
+        (i % 4 == 0 && tight_fraction > 0.0) ? rng.uniform(0.4, 1.05)
+                                             : rng.uniform(1.1, 3.0);
+    out.push_back(rc::make_instance(std::move(g), slack * d_min, power));
+  }
+  return out;
+}
+
+void expect_batches_identical(std::span<const rc::Instance> instances,
+                              const rm::EnergyModel& model,
+                              const rc::SolveOptions& options) {
+  re::EngineOptions kernel_opts;
+  kernel_opts.threads = 1;
+  kernel_opts.memoize = false;  // force every instance through a solver
+  re::EngineOptions scalar_opts = kernel_opts;
+  scalar_opts.use_kernels = false;
+
+  re::ReclaimEngine with_kernels(kernel_opts);
+  re::ReclaimEngine scalar(scalar_opts);
+  const auto fast = with_kernels.solve_batch(instances, model, options);
+  const auto slow = scalar.solve_batch(instances, model, options);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    SCOPED_TRACE("instance " + std::to_string(i));
+    expect_identical(fast[i], slow[i]);
+  }
+  // The sweep is one long homogeneous run: the kernel engine must have
+  // actually taken the fast path, and the scalar engine must not have.
+  EXPECT_GT(with_kernels.stats().kernel_solves, 0u);
+  EXPECT_EQ(scalar.stats().kernel_solves, 0u);
+}
+
+}  // namespace
+
+// ------------------------------------------------------ bit-identity fuzz
+
+TEST(BatchKernels, ChainSweepBitIdentical) {
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  expect_batches_identical(homogeneous_sweep(17, 200, "chain", rm::PowerLaw(3.0)), cont, {});
+}
+
+TEST(BatchKernels, SingleTaskSweepBitIdentical) {
+  const rm::EnergyModel cont = rm::ContinuousModel{2.5};
+  expect_batches_identical(homogeneous_sweep(19, 150, "single", rm::PowerLaw(3.0)), cont,
+                           {});
+}
+
+TEST(BatchKernels, ForkSweepBitIdentical) {
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  expect_batches_identical(homogeneous_sweep(23, 200, "fork", rm::PowerLaw(3.0)), cont, {});
+}
+
+TEST(BatchKernels, LeakyChainSweepBitIdentical) {
+  // Static power engages the s_crit floor in the closed forms.
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  expect_batches_identical(
+      homogeneous_sweep(29, 200, "chain", rm::StaticPowerLaw(3.0, 0.5)), cont,
+      {});
+}
+
+TEST(BatchKernels, LeakyForkSweepBitIdenticalUnderReduction) {
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  expect_batches_identical(
+      homogeneous_sweep(31, 200, "fork", rm::StaticPowerLaw(3.0, 0.8)), cont,
+      {});
+}
+
+TEST(BatchKernels, ExactLeakyChainSweepBitIdentical) {
+  // Homogeneous leaky chains are exact a priori under the reduction, so
+  // the kernels stay valid under LeakageMode::kExact.
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  rc::SolveOptions options;
+  options.leakage = rc::LeakageMode::kExact;
+  expect_batches_identical(
+      homogeneous_sweep(37, 150, "chain", rm::StaticPowerLaw(3.0, 0.5)), cont,
+      options);
+}
+
+TEST(BatchKernels, SminFloorSweepBitIdentical) {
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  rc::SolveOptions options;
+  options.continuous_s_min = 0.9;
+  expect_batches_identical(homogeneous_sweep(41, 150, "chain", rm::PowerLaw(3.0)), cont,
+                           options);
+}
+
+TEST(BatchKernels, MixedFamiliesAndStragglersBitIdentical) {
+  // Alternate runs of chains and forks with a general DAG wedged between
+  // them: the planner must segment runs correctly and hand the stencil to
+  // the scalar path.
+  ru::Rng rng(43);
+  std::vector<rc::Instance> instances;
+  const auto chains = homogeneous_sweep(47, 20, "chain", rm::PowerLaw(3.0));
+  const auto forks = homogeneous_sweep(53, 20, "fork", rm::PowerLaw(3.0));
+  instances.insert(instances.end(), chains.begin(), chains.end());
+  {
+    auto g = rg::make_stencil(3, 3, rng);
+    const double d = 1.5 * rc::min_deadline(g, 2.0);
+    instances.push_back(rc::make_instance(std::move(g), d));
+  }
+  instances.insert(instances.end(), forks.begin(), forks.end());
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  expect_batches_identical(instances, cont, {});
+}
+
+// ----------------------------------------------------- planner predicates
+
+TEST(BatchKernels, PlannerRejectsIneligibleInstances) {
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  const rc::SolveOptions options;
+  ru::Rng rng(59);
+
+  // General DAG: no closed form.
+  auto stencil = rg::make_stencil(3, 3, rng);
+  const auto general =
+      rc::make_instance(std::move(stencil), 50.0, 3.0);
+  EXPECT_FALSE(rc::plan_kernel(general, cont, options).has_value());
+
+  // Exact-leaky fork with static power: the exact route runs a barrier
+  // pass on top of the reduction — not batchable.
+  auto fork = rg::make_fork({1.0, 2.0, 3.0});
+  const auto leaky_fork = rc::make_instance(std::move(fork), 50.0,
+                                            rm::StaticPowerLaw(3.0, 0.5));
+  rc::SolveOptions exact;
+  exact.leakage = rc::LeakageMode::kExact;
+  EXPECT_FALSE(rc::plan_kernel(leaky_fork, cont, exact).has_value());
+  EXPECT_TRUE(rc::plan_kernel(leaky_fork, cont, options).has_value());
+
+  // Mode-based models never take the continuous closed forms.
+  const rm::EnergyModel discrete =
+      rm::DiscreteModel{rm::ModeSet{{0.5, 1.0, 2.0}}};
+  auto chain = rg::make_chain({1.0, 2.0});
+  const auto chain_inst = rc::make_instance(std::move(chain), 10.0, 3.0);
+  EXPECT_FALSE(rc::plan_kernel(chain_inst, discrete, options).has_value());
+}
+
+TEST(BatchKernels, RunCompatibilityRequiresSharedTopologyAndModel) {
+  const auto a = rc::make_instance(rg::make_chain({1.0, 2.0, 3.0}), 10.0, 3.0);
+  const auto b = rc::make_instance(rg::make_chain({4.0, 5.0, 6.0}), 20.0, 3.0);
+  EXPECT_TRUE(rc::kernel_run_compatible(a, b));
+
+  const auto other_shape =
+      rc::make_instance(rg::make_fork({1.0, 2.0, 3.0}), 10.0, 3.0);
+  EXPECT_FALSE(rc::kernel_run_compatible(a, other_shape));
+
+  const auto other_power = rc::make_instance(rg::make_chain({1.0, 2.0, 3.0}),
+                                             10.0, rm::StaticPowerLaw(3.0, 0.5));
+  EXPECT_FALSE(rc::kernel_run_compatible(a, other_power));
+}
+
+TEST(BatchKernels, ShortRunsStayScalar) {
+  // kKernelMinRun instances amortize the plan; fewer must not engage it.
+  const auto sweep = homogeneous_sweep(61, re::kKernelMinRun - 1, "chain", rm::PowerLaw(3.0));
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  re::EngineOptions opts;
+  opts.threads = 1;
+  opts.memoize = false;
+  re::ReclaimEngine engine(opts);
+  (void)engine.solve_batch(std::span<const rc::Instance>(sweep), cont, {});
+  EXPECT_EQ(engine.stats().kernel_solves, 0u);
+  EXPECT_EQ(engine.stats().fresh_solves, sweep.size());
+}
+
+TEST(BatchKernels, StatsCountKernelSolves) {
+  const auto sweep = homogeneous_sweep(67, 40, "chain", rm::PowerLaw(3.0));
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  re::EngineOptions opts;
+  opts.threads = 1;
+  opts.memoize = false;
+  re::ReclaimEngine engine(opts);
+  (void)engine.solve_batch(std::span<const rc::Instance>(sweep), cont, {});
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.instances, sweep.size());
+  EXPECT_EQ(stats.fresh_solves, sweep.size());
+  EXPECT_EQ(stats.kernel_solves, sweep.size());
+  engine.clear_caches();
+  EXPECT_EQ(engine.stats().kernel_solves, 0u);
+}
+
+// ----------------------------------------------------------- warm starts
+
+namespace {
+
+/// A sweep over one general-DAG topology (numeric-barrier route) with a
+/// deadline grid — the workload warm starts are for.
+std::vector<rc::Instance> barrier_sweep(std::uint64_t seed, std::size_t count,
+                                        double p_static = 0.0) {
+  ru::Rng rng(seed);
+  rg::Digraph g = rg::make_stencil(3, 3, rng);
+  std::vector<rc::Instance> out;
+  out.reserve(count);
+  const double d_min = rc::min_deadline(g, 2.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double slack = 1.2 + 0.08 * static_cast<double>(i % 25);
+    rg::Digraph copy = g;
+    out.push_back(rc::make_instance(
+        std::move(copy), slack * d_min,
+        p_static > 0.0 ? rm::PowerModel(rm::StaticPowerLaw(3.0, p_static))
+                       : rm::PowerModel(rm::PowerLaw(3.0))));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(WarmStart, WithinFeasibilityTolOfColdSolves) {
+  const auto sweep = barrier_sweep(71, 30);
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+
+  re::EngineOptions cold_opts;
+  cold_opts.threads = 1;
+  cold_opts.memoize = false;
+  re::EngineOptions warm_opts = cold_opts;
+  warm_opts.warm_start = true;
+
+  re::ReclaimEngine cold(cold_opts);
+  re::ReclaimEngine warm(warm_opts);
+  const auto cold_solutions =
+      cold.solve_batch(std::span<const rc::Instance>(sweep), cont, {});
+  const auto warm_solutions =
+      warm.solve_batch(std::span<const rc::Instance>(sweep), cont, {});
+
+  ASSERT_EQ(cold_solutions.size(), warm_solutions.size());
+  for (std::size_t i = 0; i < cold_solutions.size(); ++i) {
+    SCOPED_TRACE("instance " + std::to_string(i));
+    ASSERT_TRUE(cold_solutions[i].feasible);
+    ASSERT_TRUE(warm_solutions[i].feasible);
+    // The acceptance guard keeps a warm solve no worse than its own cold
+    // start; both converge to the duality-gap target, so the energies
+    // agree within the feasibility tolerance.
+    EXPECT_NEAR(warm_solutions[i].energy, cold_solutions[i].energy,
+                rc::kFeasibilityRelTol *
+                    std::max(1.0, cold_solutions[i].energy));
+    EXPECT_EQ(warm_solutions[i].method, cold_solutions[i].method);
+  }
+  // After the first solve of the topology every solve saw a seed.
+  EXPECT_GE(warm.stats().warm_solves, sweep.size() - 1);
+  EXPECT_EQ(cold.stats().warm_solves, 0u);
+}
+
+TEST(WarmStart, FirstSolveOfShapeIsBitIdenticalToCold) {
+  // No seed exists yet for a topology's first solve: the warm engine must
+  // produce the cold result bit for bit.
+  const auto sweep = barrier_sweep(73, 1);
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+
+  re::EngineOptions cold_opts;
+  cold_opts.threads = 1;
+  cold_opts.memoize = false;
+  re::EngineOptions warm_opts = cold_opts;
+  warm_opts.warm_start = true;
+
+  re::ReclaimEngine cold(cold_opts);
+  re::ReclaimEngine warm(warm_opts);
+  const auto a = cold.solve_one(sweep[0], cont);
+  const auto b = warm.solve_one(sweep[0], cont);
+  expect_identical(a, b);
+  EXPECT_EQ(warm.stats().warm_solves, 0u);
+}
+
+TEST(WarmStart, DeterministicGivenSolveOrder) {
+  const auto sweep = barrier_sweep(79, 20, 0.4);
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  rc::SolveOptions options;
+  options.leakage = rc::LeakageMode::kExact;
+
+  re::EngineOptions warm_opts;
+  warm_opts.threads = 1;  // fixed solve order
+  warm_opts.memoize = false;
+  warm_opts.warm_start = true;
+
+  re::ReclaimEngine first(warm_opts);
+  re::ReclaimEngine second(warm_opts);
+  const auto a =
+      first.solve_batch(std::span<const rc::Instance>(sweep), cont, options);
+  const auto b =
+      second.solve_batch(std::span<const rc::Instance>(sweep), cont, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("instance " + std::to_string(i));
+    expect_identical(a[i], b[i]);
+  }
+}
+
+// ---------------------------------------------------------- arena scratch
+
+TEST(Arena, ScopedAllocationsRewind) {
+  ru::Arena arena(256);
+  {
+    const ru::Arena::Scope scope(arena);
+    auto a = arena.alloc<double>(10);
+    EXPECT_EQ(a.size(), 10u);
+    for (double v : a) EXPECT_EQ(v, 0.0);
+    auto b = arena.alloc<std::uint8_t>(3);
+    auto c = arena.alloc<double>(5);  // realigns after the byte span
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c.data()) % alignof(double),
+              0u);
+    b[0] = 1;
+    EXPECT_GT(arena.stats().bytes_used, 0u);
+  }
+  EXPECT_EQ(arena.stats().bytes_used, 0u);
+  {
+    // Oversized request: grows a new block rather than failing.
+    const ru::Arena::Scope scope(arena);
+    auto big = arena.alloc<double>(4096);
+    EXPECT_EQ(big.size(), 4096u);
+  }
+  EXPECT_EQ(arena.stats().bytes_used, 0u);
+}
+
+TEST(Arena, VectorPoolRecyclesCapacity) {
+  ru::Arena arena;
+  std::vector<double> v = arena.lease_doubles();
+  v.assign(100, 1.0);
+  const double* data = v.data();
+  arena.recycle_doubles(std::move(v));
+  EXPECT_EQ(arena.stats().pooled_vectors, 1u);
+  std::vector<double> w = arena.lease_doubles();
+  EXPECT_TRUE(w.empty());
+  EXPECT_GE(w.capacity(), 100u);
+  EXPECT_EQ(w.data(), data);  // the very buffer came back
+  EXPECT_EQ(arena.stats().pooled_vectors, 0u);
+}
+
+TEST(Arena, NoAllocationGrowthAcrossSolves) {
+  // Steady state: repeated solves must not grow the thread's arena — the
+  // warm-up pass sizes the blocks and every later solve reuses them.
+  const auto chains = homogeneous_sweep(83, 10, "chain", rm::PowerLaw(3.0), 0.0);
+  const auto barriers = barrier_sweep(89, 5, 0.3);
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  rc::SolveOptions exact;
+  exact.leakage = rc::LeakageMode::kExact;
+
+  re::EngineOptions opts;
+  opts.threads = 1;  // inline: all scratch goes through this thread's arena
+  opts.memoize = false;
+  re::ReclaimEngine engine(opts);
+
+  const auto solve_everything = [&] {
+    (void)engine.solve_batch(std::span<const rc::Instance>(chains), cont, {});
+    (void)engine.solve_batch(std::span<const rc::Instance>(barriers), cont,
+                             exact);
+  };
+  solve_everything();  // warm-up sizes the blocks and the vector pool
+  const ru::ArenaStats after_warmup = ru::Arena::scratch().stats();
+  for (int round = 0; round < 5; ++round) solve_everything();
+  const ru::ArenaStats steady = ru::Arena::scratch().stats();
+
+  EXPECT_EQ(steady.blocks, after_warmup.blocks);
+  EXPECT_EQ(steady.bytes_reserved, after_warmup.bytes_reserved);
+  EXPECT_EQ(steady.bytes_peak, after_warmup.bytes_peak);
+  EXPECT_EQ(steady.bytes_used, 0u);  // every Scope unwound
+}

@@ -130,7 +130,8 @@ TEST(ExactLeaky, MixedPstatChainBeatsReductionByOverOnePercent) {
 
   const auto exact = solve_mode(instance, kInf, rc::LeakageMode::kExact);
   ASSERT_TRUE(exact.feasible);
-  EXPECT_EQ(exact.method, "numeric-exact-leaky");
+  // Chains take the scalar waterfilling route, not a second barrier run.
+  EXPECT_EQ(exact.method, "waterfill-exact-leaky");
   expect_schedule_feasible(instance, exact);
 
   const auto f = [](double d0) {
@@ -244,7 +245,7 @@ TEST(ExactLeaky, FlooredMixedPstatChainStillImproves) {
   ASSERT_TRUE(reduction.feasible);
   ASSERT_TRUE(exact.feasible);
   EXPECT_NEAR(reduction.energy, 1.0 / 9.0 + 3.0, 1e-5);
-  EXPECT_EQ(exact.method, "numeric-exact-leaky");
+  EXPECT_EQ(exact.method, "waterfill-exact-leaky");
   expect_schedule_feasible(instance, exact);
 
   const auto f = [](double d1) {

@@ -162,6 +162,10 @@ TEST(Wire, RoundTripStatsReply) {
   stats.memo_bytes = 1 << 16;
   stats.memo_evictions = 3;
   stats.memo_oldest_age_ms = 2500;
+  stats.raced_solves = 7;
+  stats.crawl_solves = 9;
+  stats.kernel_solves = 25;
+  stats.warm_solves = 4;
   stats.clients = {{1, 50, 50, 0}, {2, 50, 48, 2}};
   expect_round_trip({14, stats});
   EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.6);

@@ -184,7 +184,9 @@ void print_server_stats(const net::StatsReply& stats) {
             << "%), " << stats.memo_entries << " entries, "
             << util::Table::fmt(
                    static_cast<double>(stats.memo_bytes) / 1024.0, 1)
-            << " KiB, " << stats.memo_evictions << " evictions\n";
+            << " KiB, " << stats.memo_evictions << " evictions\n"
+            << "fast path: " << stats.kernel_solves << " kernel solves, "
+            << stats.warm_solves << " warm-started solves\n";
   for (const auto& client : stats.clients) {
     std::cerr << "  client " << client.id << ": " << client.requests
               << " requests, " << client.results << " results, "

@@ -48,6 +48,11 @@ engine:
   --threads <t>          solver worker threads        [default: cores]
   --memo-entries <n>     solution-memo entry cap      [default 65536]
   --memo-mb <m>          solution-memo byte cap, MiB  [default 64; 0 = off]
+  --no-kernels           disable the batched closed-form kernels inside
+                         solve_batch (scalar dispatch for every instance)
+  --warm-start           seed numeric solves from the last solution of the
+                         same topology (results may differ from cold solves
+                         within the duality-gap target)
 
 service:
   --stats-interval <s>   seconds between stats lines on stderr
@@ -64,6 +69,8 @@ int run(const Args& args) {
   options.engine.threads = args.count_or("threads", 0);
   options.engine.memo_capacity = args.count_or("memo-entries", 1 << 16);
   options.engine.memo_bytes = args.count_or("memo-mb", 64) << 20;
+  options.engine.use_kernels = !args.flag("no-kernels");
+  options.engine.warm_start = args.flag("warm-start");
   options.solve = parse_solve_options(args);
   options.stats_log_interval_s = args.number_or("stats-interval", 10.0);
   options.log = &std::cerr;
@@ -97,7 +104,7 @@ int main(int argc, char** argv) {
     Args args;  // bare `reclaim_serve` runs with the defaults
     if (argc >= 2) {
       args = parse_args(argc, argv, "usage: reclaim_serve [--opt value]...",
-                        /*valueless=*/{"stdio"});
+                        /*valueless=*/{"stdio", "no-kernels", "warm-start"});
     }
     if (args.command == "help") return cmd_help();
     if (!args.command.empty()) {

@@ -7,7 +7,7 @@
 #   tools/run_bench.sh [output-dir] [bench-glob]
 #
 # output-dir defaults to bench-results; bench-glob defaults to bench_e*
-# (CI records only the fast baselines with 'bench_e1[234]_*'). Set
+# (CI records only the fast baselines with 'bench_e1[2345678]_*'). Set
 # RECLAIM_BENCH_BUILD_DIR to reuse an existing Release build tree instead
 # of configuring build-bench from scratch.
 #
@@ -25,12 +25,11 @@
 # cannot absorb itself into the baseline. When the baseline already
 # carried the flag — the regression held two runs in a row — a
 # "::warning::" soft alert is printed (so GitHub Actions annotates the
-# run). Informational for every bench except bench_e12_batch_throughput:
-# its workload has proven low-noise, so a sustained regression there is a
+# run). Informational for every bench except the hard-gated set —
+# bench_e12_batch_throughput and bench_e17_serve_throughput: their
+# workloads have proven low-noise, so a sustained regression there is a
 # hard gate — the script exits 1. Opt out with RECLAIM_BENCH_HARD_GATE=0
-# (e.g. on known-noisy hosts). bench_e17_serve_throughput (the daemon
-# stack) rides the same chain but stays a soft alert: its rates include
-# socket scheduling, which is noisier than pure solver throughput.
+# (e.g. on known-noisy hosts).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -175,7 +174,7 @@ print("[perf diff] informational only: regressions never fail the run")
 # clears the flag and the reference resets to reality.
 threshold = float(os.environ.get("RECLAIM_BENCH_ALERT_PCT", "10"))
 hard_gate = os.environ.get("RECLAIM_BENCH_HARD_GATE", "1") != "0"
-hard_gated = {"bench_e12_batch_throughput"}
+hard_gated = {"bench_e12_batch_throughput", "bench_e17_serve_throughput"}
 for name in sorted(now):
     p, n = prev.get(name, {}), now[name]
     n_rate = n.get("inst_s")
