@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <exception>
 #include <future>
-#include <mutex>
 #include <utility>
 
 #include "core/continuous/batch_kernels.hpp"
@@ -15,6 +14,7 @@
 #include "core/discrete/round_up.hpp"
 #include "core/vdd/lp_solver.hpp"
 #include "engine/instance_key.hpp"
+#include "util/annotated_mutex.hpp"
 #include "util/arena.hpp"
 #include "util/error.hpp"
 
@@ -49,7 +49,7 @@ ReclaimEngine::ShapeEntry ReclaimEngine::shape_of(const graph::Digraph& g) {
   if (!options_.reuse_shapes) return {graph::classify(g), nullptr, nullptr};
   const std::string key = topology_key(g);
   {
-    const std::shared_lock lock(shape_mutex_);
+    const util::ReadLock lock(shape_mutex_);
     const auto it = shapes_.find(key);
     if (it != shapes_.end()) {
       shape_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -69,7 +69,7 @@ ReclaimEngine::ShapeEntry ReclaimEngine::shape_of(const graph::Digraph& g) {
     // (and are seeded by) each other through it.
     entry.warm = std::make_shared<WarmSlot>();
   }
-  const std::unique_lock lock(shape_mutex_);
+  const util::WriteLock lock(shape_mutex_);
   // Two workers may race to fill the same key; keep the first entry so
   // every solve of this topology shares one warm slot.
   return shapes_.emplace(key, std::move(entry)).first->second;
@@ -119,8 +119,9 @@ core::Solution ReclaimEngine::dispatch(const core::Instance& instance,
             // (falling back to the bit-identical cold solve), so sharing
             // one slot across a sweep is always safe.
             {
-              const std::lock_guard lock(entry.warm->mutex);
-              continuous_options.warm_start = entry.warm->speeds;
+              WarmSlot& warm = *entry.warm;
+              const util::MutexLock lock(warm.mutex);
+              continuous_options.warm_start = warm.speeds;
             }
             if (continuous_options.warm_start) {
               warm_solves_.fetch_add(1, std::memory_order_relaxed);
@@ -133,8 +134,9 @@ core::Solution ReclaimEngine::dispatch(const core::Instance& instance,
                s.method == "numeric-exact-leaky")) {
             auto snapshot =
                 std::make_shared<const std::vector<double>>(s.speeds);
-            const std::lock_guard lock(entry.warm->mutex);
-            entry.warm->speeds = std::move(snapshot);
+            WarmSlot& warm = *entry.warm;
+            const util::MutexLock lock(warm.mutex);
+            warm.speeds = std::move(snapshot);
           }
           return s;
         } else if constexpr (std::is_same_v<M, model::VddHoppingModel>) {
@@ -237,7 +239,7 @@ std::vector<core::Solution> ReclaimEngine::run_batch(
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> abort{false};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  util::Mutex error_mutex;
 
   const auto drain = [&] {
     while (!abort.load(std::memory_order_relaxed)) {
@@ -248,7 +250,7 @@ std::vector<core::Solution> ReclaimEngine::run_batch(
         solve_range(lo, hi, out.data());
       } catch (...) {
         {
-          const std::lock_guard lock(error_mutex);
+          const util::MutexLock lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
         abort.store(true, std::memory_order_relaxed);
@@ -455,14 +457,14 @@ EngineStats ReclaimEngine::stats() const {
   s.memo_evictions = memo.evictions;
   s.memo_oldest_age_s = memo.oldest_age_s;
   {
-    const std::shared_lock lock(shape_mutex_);
+    const util::ReadLock lock(shape_mutex_);
     s.shape_entries = shapes_.size();
   }
   return s;
 }
 
 void ReclaimEngine::clear_caches() {
-  const std::unique_lock shape_lock(shape_mutex_);
+  const util::WriteLock shape_lock(shape_mutex_);
   memo_.clear();
   shapes_.clear();
   batches_.store(0);

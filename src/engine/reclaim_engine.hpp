@@ -31,8 +31,6 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -45,6 +43,7 @@
 #include "graph/sp_tree.hpp"
 #include "model/energy_model.hpp"
 #include "sched/mapping.hpp"
+#include "util/annotated_mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace reclaim::engine {
@@ -200,8 +199,9 @@ class ReclaimEngine {
   /// under the slot mutex and release it immediately, writers swap in a
   /// fresh vector — solves never hold the lock.
   struct WarmSlot {
-    std::mutex mutex;
-    std::shared_ptr<const std::vector<double>> speeds;
+    util::Mutex mutex;
+    std::shared_ptr<const std::vector<double>> speeds
+        RECLAIM_GUARDED_BY(mutex);
   };
 
   /// Cached structural analysis of one topology: the classification plus,
@@ -250,8 +250,9 @@ class ReclaimEngine {
 
   SolutionCache memo_;  ///< LRU solution memo, shared across clients
 
-  mutable std::shared_mutex shape_mutex_;
-  std::unordered_map<std::string, ShapeEntry> shapes_;
+  mutable util::SharedMutex shape_mutex_;
+  std::unordered_map<std::string, ShapeEntry> shapes_
+      RECLAIM_GUARDED_BY(shape_mutex_);
 
   std::atomic<std::size_t> batches_{0};
   std::atomic<std::size_t> instances_{0};

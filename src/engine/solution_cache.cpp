@@ -24,7 +24,7 @@ std::size_t SolutionCache::entry_bytes(const Node& node) {
 }
 
 std::optional<core::Solution> SolutionCache::get(const std::string& key) {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = index_.find(std::string_view(key));
   if (it == index_.end()) {
     ++misses_;
@@ -37,7 +37,7 @@ std::optional<core::Solution> SolutionCache::get(const std::string& key) {
 }
 
 void SolutionCache::put(const std::string& key, const core::Solution& solution) {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (const auto it = index_.find(std::string_view(key)); it != index_.end()) {
     // Two workers racing on one key compute identical deterministic
     // solutions; refreshing recency is all there is to do.
@@ -71,7 +71,7 @@ void SolutionCache::evict_to_limits_locked() {
 }
 
 void SolutionCache::clear() {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   index_.clear();
   lru_.clear();
   bytes_ = 0;
@@ -79,7 +79,7 @@ void SolutionCache::clear() {
 }
 
 CacheStats SolutionCache::stats() const {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   CacheStats s;
   s.entries = lru_.size();
   s.bytes = bytes_;

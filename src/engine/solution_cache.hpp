@@ -12,20 +12,22 @@
 // Thread safety: every operation takes the internal mutex (a hit mutates
 // the recency list, so even lookups are writes). Critical sections are
 // O(1) and tiny; the solvers the cache fronts are micro- to milliseconds,
-// so the lock is never the bottleneck.
+// so the lock is never the bottleneck. The guarded fields are annotated
+// (util/annotated_mutex.hpp), so Clang's -Wthread-safety proves every
+// access really is under the lock.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "core/problem.hpp"
+#include "util/annotated_mutex.hpp"
 
 namespace reclaim::engine {
 
@@ -87,19 +89,20 @@ class SolutionCache {
   using LruList = std::list<Node>;  // front = hottest, back = next to evict
 
   static std::size_t entry_bytes(const Node& node);
-  void evict_to_limits_locked();
+  void evict_to_limits_locked() RECLAIM_REQUIRES(mutex_);
 
   CacheLimits limits_;
-  mutable std::mutex mutex_;
-  LruList lru_;
+  mutable util::Mutex mutex_;
+  LruList lru_ RECLAIM_GUARDED_BY(mutex_);
   /// Views into the list nodes' own keys; list nodes never relocate, so
   /// the views stay valid until the node is erased.
-  std::unordered_map<std::string_view, LruList::iterator> index_;
-  std::size_t bytes_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t insertions_ = 0;
-  std::uint64_t evictions_ = 0;
+  std::unordered_map<std::string_view, LruList::iterator> index_
+      RECLAIM_GUARDED_BY(mutex_);
+  std::size_t bytes_ RECLAIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t hits_ RECLAIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ RECLAIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t insertions_ RECLAIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ RECLAIM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace reclaim::engine

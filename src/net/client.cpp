@@ -8,6 +8,7 @@
 #include <cstring>
 #include <utility>
 
+#include "util/annotated_mutex.hpp"
 #include "util/error.hpp"
 
 namespace reclaim::net {
@@ -20,10 +21,10 @@ ServeClient ServeClient::connect_unix(const std::string& path) {
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
 
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) throw Error("socket(): " + std::string(std::strerror(errno)));
+  if (fd < 0) throw Error("socket(): " + util::errno_string(errno));
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
-    const std::string what = std::strerror(errno);
+    const std::string what = util::errno_string(errno);
     ::close(fd);
     throw Error("cannot connect to '" + path + "': " + what);
   }
@@ -40,8 +41,13 @@ ServeClient::ServeClient(int in_fd, int out_fd, bool owns_fds)
 ServeClient::ServeClient(ServeClient&& other) noexcept
     : in_fd_(std::exchange(other.in_fd_, -1)),
       out_fd_(std::exchange(other.out_fd_, -1)),
-      owns_fds_(std::exchange(other.owns_fds_, false)),
-      next_id_(other.next_id_) {}
+      owns_fds_(std::exchange(other.owns_fds_, false)) {
+  // Moving a client that another thread is still sending on is a caller
+  // bug, but take the lock anyway: it is free here, and it keeps the id
+  // counter's guarded-by contract intact for the analysis.
+  const util::MutexLock lock(other.send_mutex_);
+  next_id_ = other.next_id_;
+}
 
 ServeClient::~ServeClient() {
   if (!owns_fds_) return;
@@ -50,7 +56,7 @@ ServeClient::~ServeClient() {
 }
 
 std::uint64_t ServeClient::send_solve(const SolveRequest& request) {
-  const std::lock_guard lock(send_mutex_);
+  const util::MutexLock lock(send_mutex_);
   Message message{++next_id_, request};
   const std::string payload = encode(message);
   write_frame(out_fd_, payload);
@@ -58,14 +64,14 @@ std::uint64_t ServeClient::send_solve(const SolveRequest& request) {
 }
 
 std::uint64_t ServeClient::send_stats() {
-  const std::lock_guard lock(send_mutex_);
+  const util::MutexLock lock(send_mutex_);
   Message message{++next_id_, StatsRequest{}};
   write_frame(out_fd_, encode(message));
   return message.id;
 }
 
 std::uint64_t ServeClient::send_ping() {
-  const std::lock_guard lock(send_mutex_);
+  const util::MutexLock lock(send_mutex_);
   Message message{++next_id_, Ping{}};
   write_frame(out_fd_, encode(message));
   return message.id;
@@ -73,13 +79,13 @@ std::uint64_t ServeClient::send_ping() {
 
 std::optional<Message> ServeClient::read_message() {
   std::string payload;
-  const std::lock_guard lock(read_mutex_);
+  const util::MutexLock lock(read_mutex_);
   if (!read_frame(in_fd_, payload)) return std::nullopt;
   return decode(payload);
 }
 
 void ServeClient::finish_sending() {
-  const std::lock_guard lock(send_mutex_);
+  const util::MutexLock lock(send_mutex_);
   // Sockets get a half-close; a pipe's writer just stops writing (the
   // tool closes the pipe fd itself when it owns one).
   ::shutdown(out_fd_, SHUT_WR);

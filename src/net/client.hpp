@@ -15,12 +15,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "net/framing.hpp"
 #include "net/wire.hpp"
+#include "util/annotated_mutex.hpp"
 
 namespace reclaim::net {
 
@@ -65,9 +65,9 @@ class ServeClient {
   int in_fd_ = -1;
   int out_fd_ = -1;
   bool owns_fds_ = false;
-  std::uint64_t next_id_ = 0;
-  std::mutex send_mutex_;
-  std::mutex read_mutex_;
+  util::Mutex send_mutex_;
+  util::Mutex read_mutex_;
+  std::uint64_t next_id_ RECLAIM_GUARDED_BY(send_mutex_) = 0;
 };
 
 }  // namespace reclaim::net

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <cstring>
 
+#include "util/error.hpp"
+
 namespace reclaim::net {
 
 namespace {
@@ -24,7 +26,7 @@ std::size_t read_exact(int fd, char* out, std::size_t count) {
     if (got == 0) return done;  // EOF
     if (errno == EINTR) continue;
     throw FrameError(FrameError::Kind::kIo,
-                     std::string("frame read failed: ") + std::strerror(errno));
+                     "frame read failed: " + util::errno_string(errno));
   }
   return done;
 }
@@ -51,9 +53,10 @@ void write_all(int fd, const char* data, std::size_t count) {
       continue;
     }
     if (put < 0 && errno == EINTR) continue;
-    throw FrameError(FrameError::Kind::kIo,
-                     std::string("frame write failed: ") +
-                         (put < 0 ? std::strerror(errno) : "zero-byte write"));
+    throw FrameError(
+        FrameError::Kind::kIo,
+        "frame write failed: " + (put < 0 ? util::errno_string(errno)
+                                          : std::string("zero-byte write")));
   }
 }
 

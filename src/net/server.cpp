@@ -77,13 +77,15 @@ std::string describe(const std::exception_ptr& error) {
 struct ReclaimServer::Connection {
   int out_fd = -1;
   std::shared_ptr<ClientCounters> counters;
-  std::mutex write_mutex;
+  /// Serializes reply frames onto out_fd; never held together with
+  /// flight_mutex (send_reply releases it before the flight accounting).
+  util::Mutex write_mutex;
   /// Set on the first write failure: the peer is gone, later replies are
   /// dropped instead of erroring once per in-flight solve.
   std::atomic<bool> dead{false};
-  std::mutex flight_mutex;
-  std::condition_variable flight_cv;
-  std::size_t outstanding = 0;
+  util::Mutex flight_mutex;
+  util::CondVar flight_cv;
+  std::size_t outstanding RECLAIM_GUARDED_BY(flight_mutex) = 0;
 };
 
 ReclaimServer::ReclaimServer(ServerOptions options)
@@ -128,12 +130,12 @@ void ReclaimServer::serve_unix(const std::string& socket_path) {
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
 
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) throw Error("socket(): " + std::string(std::strerror(errno)));
+  if (fd < 0) throw Error("socket(): " + util::errno_string(errno));
   ::unlink(socket_path.c_str());  // stale socket from a previous run
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
           0 ||
       ::listen(fd, 16) != 0) {
-    const std::string what = std::strerror(errno);
+    const std::string what = util::errno_string(errno);
     ::close(fd);
     throw Error("cannot listen on '" + socket_path + "': " + what);
   }
@@ -177,7 +179,7 @@ void ReclaimServer::handle_connection(int in_fd, int out_fd) {
   conn->out_fd = out_fd;
   conn->counters = std::make_shared<ClientCounters>();
   {
-    const std::lock_guard lock(clients_mutex_);
+    const util::MutexLock lock(clients_mutex_);
     conn->counters->id = ++next_client_id_;
     clients_.push_back(conn->counters);
     ++clients_active_;
@@ -217,10 +219,11 @@ void ReclaimServer::handle_connection(int in_fd, int out_fd) {
   {
     // The peer is gone (or desynced) but workers may still hold requests;
     // the fds must stay valid until the last reply is written or dropped.
-    std::unique_lock lock(conn->flight_mutex);
-    conn->flight_cv.wait(lock, [&] { return conn->outstanding == 0; });
+    Connection& c = *conn;
+    const util::MutexLock lock(c.flight_mutex);
+    while (c.outstanding != 0) c.flight_cv.wait(c.flight_mutex);
   }
-  const std::lock_guard lock(clients_mutex_);
+  const util::MutexLock lock(clients_mutex_);
   --clients_active_;
 }
 
@@ -240,8 +243,9 @@ void ReclaimServer::handle_message(const std::shared_ptr<Connection>& conn,
     core::SolveOptions options = options_.solve;
     options.leakage = solve->leakage;
     {
-      const std::lock_guard lock(conn->flight_mutex);
-      ++conn->outstanding;
+      Connection& c = *conn;
+      const util::MutexLock lock(c.flight_mutex);
+      ++c.outstanding;
     }
     engine_.submit(
         std::move(mapped), std::move(solve->model), options,
@@ -252,8 +256,9 @@ void ReclaimServer::handle_message(const std::shared_ptr<Connection>& conn,
           } else {
             send_reply(*conn, Message{id, SolveResult{std::move(solution)}});
           }
-          const std::lock_guard lock(conn->flight_mutex);
-          if (--conn->outstanding == 0) conn->flight_cv.notify_all();
+          Connection& c = *conn;
+          const util::MutexLock lock(c.flight_mutex);
+          if (--c.outstanding == 0) c.flight_cv.notify_all();
         });
     return;
   }
@@ -283,7 +288,7 @@ void ReclaimServer::send_reply(Connection& conn, const Message& message) {
   if (conn.dead.load(std::memory_order_relaxed)) return;
   try {
     const std::string payload = encode(message);
-    const std::lock_guard lock(conn.write_mutex);
+    const util::MutexLock lock(conn.write_mutex);
     write_frame(conn.out_fd, payload, options_.max_frame_bytes);
   } catch (const Error&) {
     // Peer vanished mid-reply (or a solution failed to encode): nothing
@@ -314,7 +319,7 @@ StatsReply ReclaimServer::stats() const {
   reply.kernel_solves = engine.kernel_solves;
   reply.warm_solves = engine.warm_solves;
 
-  const std::lock_guard lock(clients_mutex_);
+  const util::MutexLock lock(clients_mutex_);
   reply.clients_connected = next_client_id_;
   reply.clients_active = clients_active_;
   reply.clients.reserve(clients_.size());

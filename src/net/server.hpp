@@ -26,12 +26,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +38,7 @@
 #include "engine/reclaim_engine.hpp"
 #include "net/framing.hpp"
 #include "net/wire.hpp"
+#include "util/annotated_mutex.hpp"
 
 namespace reclaim::net {
 
@@ -119,10 +118,11 @@ class ReclaimServer {
   engine::ReclaimEngine engine_;
   std::chrono::steady_clock::time_point start_;
 
-  mutable std::mutex clients_mutex_;
-  std::vector<std::shared_ptr<ClientCounters>> clients_;
-  std::uint64_t next_client_id_ = 0;
-  std::uint64_t clients_active_ = 0;
+  mutable util::Mutex clients_mutex_;
+  std::vector<std::shared_ptr<ClientCounters>> clients_
+      RECLAIM_GUARDED_BY(clients_mutex_);
+  std::uint64_t next_client_id_ RECLAIM_GUARDED_BY(clients_mutex_) = 0;
+  std::uint64_t clients_active_ RECLAIM_GUARDED_BY(clients_mutex_) = 0;
 
   std::atomic<bool> stopping_{false};
   std::atomic<int> listen_fd_{-1};

@@ -254,7 +254,7 @@ SolveRequest read_solve(Reader& in) {
         throw WireError(ErrorCode::kBadRequest,
                         std::string("invalid processor spec: ") + e.what());
       }
-      req.platform.push_back(spec);
+      req.platform.push_back(std::move(spec));
     }
   }
   req.graph_text = in.str();

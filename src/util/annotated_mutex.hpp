@@ -1,0 +1,176 @@
+// Annotated concurrency primitives: the repo's only blessed mutexes.
+//
+// Thin wrappers over std::mutex / std::shared_mutex / std::condition_variable
+// carrying Clang thread-safety attributes, so the locking discipline that
+// PRs 6-7 established in comments ("guarded by the cache lock", "under the
+// connection's write lock") is *proved* at compile time: any CI clang build
+// runs with -Wthread-safety -Werror=thread-safety, and a read of a
+// RECLAIM_GUARDED_BY field without its capability is a build failure, not a
+// review comment. GCC compiles the attributes away to nothing.
+//
+// Usage rules (docs/architecture.md, "Concurrency model"):
+//
+//   - Concurrent state outside src/util uses these wrappers, never the raw
+//     std primitives — tools/check_rules.sh enforces this mechanically.
+//   - Every field a lock protects is declared RECLAIM_GUARDED_BY(mutex_);
+//     private helpers that assume the lock are RECLAIM_REQUIRES(mutex_).
+//   - Lock with the scoped types (MutexLock / ReadLock / WriteLock); the
+//     analysis tracks their lifetime. Manual lock()/unlock() pairs are
+//     reserved for the wrappers themselves.
+//   - CondVar::wait deliberately has no predicate overload: a predicate
+//     lambda is analyzed as a separate function that does not hold the
+//     capability, so guarded reads inside it would warn. Write the loop at
+//     the call site instead, where the analysis sees the lock:
+//
+//       MutexLock lock(mutex_);
+//       while (!ready_) cv_.wait(mutex_);
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// Clang's capability analysis attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); no-ops under
+// GCC, which has no -Wthread-safety.
+#if defined(__clang__)
+#define RECLAIM_TSA(x) __attribute__((x))
+#else
+#define RECLAIM_TSA(x)  // not Clang: attribute compiled away
+#endif
+
+#define RECLAIM_CAPABILITY(x) RECLAIM_TSA(capability(x))
+#define RECLAIM_SCOPED_CAPABILITY RECLAIM_TSA(scoped_lockable)
+#define RECLAIM_GUARDED_BY(x) RECLAIM_TSA(guarded_by(x))
+#define RECLAIM_PT_GUARDED_BY(x) RECLAIM_TSA(pt_guarded_by(x))
+#define RECLAIM_ACQUIRED_BEFORE(...) RECLAIM_TSA(acquired_before(__VA_ARGS__))
+#define RECLAIM_ACQUIRED_AFTER(...) RECLAIM_TSA(acquired_after(__VA_ARGS__))
+#define RECLAIM_REQUIRES(...) RECLAIM_TSA(requires_capability(__VA_ARGS__))
+#define RECLAIM_REQUIRES_SHARED(...) \
+  RECLAIM_TSA(requires_shared_capability(__VA_ARGS__))
+#define RECLAIM_ACQUIRE(...) RECLAIM_TSA(acquire_capability(__VA_ARGS__))
+#define RECLAIM_ACQUIRE_SHARED(...) \
+  RECLAIM_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RECLAIM_RELEASE(...) RECLAIM_TSA(release_capability(__VA_ARGS__))
+#define RECLAIM_RELEASE_SHARED(...) \
+  RECLAIM_TSA(release_shared_capability(__VA_ARGS__))
+#define RECLAIM_TRY_ACQUIRE(...) \
+  RECLAIM_TSA(try_acquire_capability(__VA_ARGS__))
+#define RECLAIM_EXCLUDES(...) RECLAIM_TSA(locks_excluded(__VA_ARGS__))
+#define RECLAIM_RETURN_CAPABILITY(x) RECLAIM_TSA(lock_returned(x))
+#define RECLAIM_NO_THREAD_SAFETY_ANALYSIS RECLAIM_TSA(no_thread_safety_analysis)
+
+namespace reclaim::util {
+
+class CondVar;
+
+/// std::mutex as a named capability.
+class RECLAIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RECLAIM_ACQUIRE() { raw_.lock(); }
+  bool try_lock() RECLAIM_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+  void unlock() RECLAIM_RELEASE() { raw_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex raw_;
+};
+
+/// std::shared_mutex as a capability with shared (reader) acquisition.
+class RECLAIM_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() RECLAIM_ACQUIRE() { raw_.lock(); }
+  void unlock() RECLAIM_RELEASE() { raw_.unlock(); }
+  void lock_shared() RECLAIM_ACQUIRE_SHARED() { raw_.lock_shared(); }
+  void unlock_shared() RECLAIM_RELEASE_SHARED() { raw_.unlock_shared(); }
+
+ private:
+  std::shared_mutex raw_;
+};
+
+/// Scoped exclusive lock on a Mutex (the std::lock_guard of this layer).
+class RECLAIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) RECLAIM_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RECLAIM_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Scoped exclusive (writer) lock on a SharedMutex.
+class RECLAIM_SCOPED_CAPABILITY WriteLock {
+ public:
+  explicit WriteLock(SharedMutex& mutex) RECLAIM_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~WriteLock() RECLAIM_RELEASE() { mutex_.unlock(); }
+
+  WriteLock(const WriteLock&) = delete;
+  WriteLock& operator=(const WriteLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Scoped shared (reader) lock on a SharedMutex.
+class RECLAIM_SCOPED_CAPABILITY ReadLock {
+ public:
+  explicit ReadLock(SharedMutex& mutex) RECLAIM_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  // Generic release: the analysis accepts it for a shared acquisition, and
+  // a scoped capability's destructor must release whatever it holds.
+  ~ReadLock() RECLAIM_RELEASE() { mutex_.unlock_shared(); }
+
+  ReadLock(const ReadLock&) = delete;
+  ReadLock& operator=(const ReadLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Condition variable bound to util::Mutex. wait() takes the Mutex itself
+/// (not a lock object) so it can carry RECLAIM_REQUIRES(mutex): callers
+/// must already hold the capability, and the analysis verifies it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `mutex`, blocks, and re-acquires before
+  /// returning. Spurious wakeups happen; loop on the condition at the
+  /// call site (see the header comment for why there is no predicate
+  /// overload).
+  void wait(Mutex& mutex) RECLAIM_REQUIRES(mutex) {
+    // Adopt the already-held raw mutex for the wait protocol, then hand
+    // ownership back so the caller's scoped lock remains the one owner.
+    std::unique_lock<std::mutex> lock(mutex.raw_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace reclaim::util

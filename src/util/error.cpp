@@ -1,5 +1,7 @@
 #include "util/error.hpp"
 
+#include <system_error>
+
 namespace reclaim::util {
 
 void require(bool condition, std::string_view message) {
@@ -12,6 +14,10 @@ void require_feasible(bool condition, std::string_view message) {
 
 void require_numeric(bool condition, std::string_view message) {
   if (!condition) throw NumericalError(std::string(message));
+}
+
+std::string errno_string(int err) {
+  return std::generic_category().message(err);
 }
 
 }  // namespace reclaim::util

@@ -49,5 +49,11 @@ void require_feasible(bool condition, std::string_view message);
 /// Throws NumericalError with `message` when `condition` is false.
 void require_numeric(bool condition, std::string_view message);
 
+/// The system error message for `err` (an errno value). Thread-safe,
+/// unlike std::strerror's shared static buffer — use this in any code a
+/// worker or reader thread may run (clang-tidy's concurrency-mt-unsafe
+/// flags strerror for exactly this reason).
+[[nodiscard]] std::string errno_string(int err);
+
 }  // namespace util
 }  // namespace reclaim

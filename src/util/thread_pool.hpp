@@ -6,15 +6,15 @@
 // the caller's thread).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotated_mutex.hpp"
 
 namespace reclaim::util {
 
@@ -41,10 +41,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::packaged_task<void()>> queue_ RECLAIM_GUARDED_BY(mutex_);
+  bool stopping_ RECLAIM_GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide pool for harness sweeps (lazily constructed, sized to the

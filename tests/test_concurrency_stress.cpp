@@ -1,0 +1,277 @@
+// Concurrency stress: N pipelined clients hammering one ReclaimServer
+// over socketpairs with mixed SOLVE/STATS/PING traffic while the memo
+// evicts under a tiny byte cap and warm starts are enabled.
+//
+// This is the primary ThreadSanitizer target (CI's tsan job runs it next
+// to the engine/net/kernel suites) and it doubles as a functional test in
+// the normal suite: every reply must be attributable, totals must
+// balance, and the tiny cache must actually churn. The engine pool, the
+// per-connection reader/worker handoff, the shared LRU memo, the
+// dispatch/shape cache, the warm-start slots, and the live STATS sampler
+// are all exercised simultaneously — exactly the surface the thread-
+// safety annotations (util/annotated_mutex.hpp) claim to protect.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <iterator>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/solution_cache.hpp"
+#include "model/energy_model.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "util/annotated_mutex.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rn = reclaim::net;
+namespace rc = reclaim::core;
+namespace rm = reclaim::model;
+namespace re = reclaim::engine;
+namespace ru = reclaim::util;
+
+namespace {
+
+/// 2x3 grid (right + down edges): classified general, so continuous
+/// solves take the numeric barrier — the path that consumes and writes
+/// back warm-start seeds.
+constexpr const char* kGridGraph =
+    "task a 1\ntask b 2\ntask c 1\ntask d 2\ntask e 1\ntask f 2\n"
+    "edge a b\nedge b c\nedge d e\nedge e f\n"
+    "edge a d\nedge b e\nedge c f\n";
+
+/// A short chain: closed form, cheap, shares the memo with every client.
+constexpr const char* kChainGraph =
+    "task a 1\ntask b 2\ntask c 1\nedge a b\nedge b c\n";
+
+struct ClientTally {
+  std::uint64_t solves_sent = 0;
+  std::uint64_t results = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t pongs = 0;
+  std::uint64_t stats_replies = 0;
+};
+
+/// One pipelined client: a sender thread issues the mixed request stream
+/// while the caller's thread reads replies until every id is answered.
+/// Failures are reported via ADD_FAILURE (never an early return) so the
+/// sender and server threads are always joined.
+void run_client(rn::ReclaimServer& server, int client_index, int requests,
+                ClientTally& tally) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    ADD_FAILURE() << "socketpair failed";
+    return;
+  }
+  std::thread server_side([&server, fd = fds[1]] {
+    server.serve_stream(fd, fd);
+    ::close(fd);
+  });
+
+  auto client = rn::ServeClient::from_fds(fds[0], fds[0], /*owns_fds=*/true);
+
+  // id -> what we asked for; filled by the sender, consumed by the
+  // reader. Guarded by the annotated mutex the library itself uses.
+  ru::Mutex mutex;
+  std::map<std::uint64_t, int> pending RECLAIM_GUARDED_BY(mutex);
+  std::atomic<std::uint64_t> sent{0};
+
+  std::thread sender([&] {
+    // Deadline grid: repeats across clients (memo hits), varies within a
+    // client (fresh solves sharing one warm slot per topology). A few
+    // deadlines sit below the critical path so infeasible results flow
+    // through the same pipe.
+    const double deadlines[] = {3.0, 4.5, 6.0, 2.5, 8.0, 3.5};
+    for (int i = 0; i < requests; ++i) {
+      std::uint64_t id = 0;
+      int kind = 0;  // 0 = solve, 1 = ping, 2 = stats
+      if (i % 11 == 7) {
+        id = client.send_ping();
+        kind = 1;
+      } else if (i % 7 == 3) {
+        id = client.send_stats();
+        kind = 2;
+      } else {
+        rn::SolveRequest request;
+        request.graph_text = (i % 3 == 0) ? kChainGraph : kGridGraph;
+        request.deadline =
+            deadlines[static_cast<std::size_t>(i + client_index) %
+                      std::size(deadlines)];
+        request.model = rm::ContinuousModel{2.0};
+        request.processors = 2;
+        id = client.send_solve(request);
+      }
+      {
+        const ru::MutexLock lock(mutex);
+        pending.emplace(id, kind);
+      }
+      sent.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::uint64_t answered = 0;
+  while (answered < static_cast<std::uint64_t>(requests)) {
+    const auto message = client.read_message();
+    if (!message.has_value()) {
+      ADD_FAILURE() << "server closed early (" << answered << " of "
+                    << requests << " replies)";
+      break;
+    }
+    int kind = -1;
+    {
+      const ru::MutexLock lock(mutex);
+      const auto it = pending.find(message->id);
+      if (it == pending.end()) {
+        ADD_FAILURE() << "reply for unknown request id " << message->id;
+      } else {
+        kind = it->second;
+        pending.erase(it);
+      }
+    }
+    ++answered;
+    if (const auto* result = std::get_if<rn::SolveResult>(&message->body)) {
+      EXPECT_EQ(kind, 0);
+      ++tally.results;
+      if (result->solution.feasible) {
+        EXPECT_GT(result->solution.energy, 0.0);
+      }
+    } else if (std::holds_alternative<rn::ErrorReply>(message->body)) {
+      ++tally.errors;
+    } else if (std::holds_alternative<rn::Pong>(message->body)) {
+      EXPECT_EQ(kind, 1);
+      ++tally.pongs;
+    } else if (const auto* stats =
+                   std::get_if<rn::StatsReply>(&message->body)) {
+      EXPECT_EQ(kind, 2);
+      // Live sample taken mid-flight: totals only ever grow, and the
+      // reply counter can never exceed the request counter.
+      EXPECT_LE(stats->results + stats->errors, stats->requests + requests);
+      ++tally.stats_replies;
+    } else {
+      ADD_FAILURE() << "unexpected reply type";
+    }
+  }
+
+  sender.join();
+  tally.solves_sent = sent.load() - tally.pongs - tally.stats_replies;
+  client.finish_sending();  // half-close: server reader sees EOF and drains
+  server_side.join();
+}
+
+}  // namespace
+
+TEST(ConcurrencyStress, MixedTrafficUnderEvictionAndWarmStarts) {
+  rn::ServerOptions options;
+  options.engine.threads = 3;
+  options.engine.warm_start = true;
+  options.engine.memo_capacity = 8;
+  options.engine.memo_bytes = 2048;  // a few entries: constant LRU churn
+  rn::ReclaimServer server(options);
+
+  constexpr int kClients = 4;
+  constexpr int kRequests = 120;
+
+  std::vector<std::thread> clients;
+  std::vector<ClientTally> tallies(kClients);
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back(
+        [&, c] { run_client(server, c, kRequests, tallies[c]); });
+  }
+  for (auto& t : clients) t.join();
+
+  std::uint64_t solves = 0;
+  std::uint64_t results = 0;
+  for (const auto& tally : tallies) {
+    EXPECT_EQ(tally.errors, 0u);
+    EXPECT_EQ(tally.results, tally.solves_sent);
+    solves += tally.solves_sent;
+    results += tally.results;
+  }
+
+  const rn::StatsReply stats = server.stats();
+  EXPECT_EQ(stats.clients_connected, kClients);
+  EXPECT_EQ(stats.clients_active, 0u);
+  EXPECT_EQ(stats.requests, solves);
+  EXPECT_EQ(stats.results, results);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.instances, stats.fresh_solves + stats.memo_hits);
+  // The deadline grid repeats across clients: the shared memo must serve
+  // cross-client hits even while the tiny byte cap forces evictions.
+  EXPECT_GT(stats.memo_hits, 0u);
+  EXPECT_GT(stats.memo_evictions, 0u);
+  EXPECT_LE(stats.memo_entries, 8u);
+  // Grid solves are numeric: after the first write-back every fresh solve
+  // of that topology is seeded from the shared warm slot.
+  EXPECT_GT(stats.warm_solves, 0u);
+}
+
+TEST(ConcurrencyStress, SolutionCacheHammer) {
+  re::SolutionCache cache(re::CacheLimits{/*max_entries=*/16,
+                                          /*max_bytes=*/0});
+  constexpr int kThreads = 4;
+  constexpr int kOps = 4000;
+  constexpr int kKeys = 64;  // 4x the entry cap: steady-state eviction
+
+  rc::Solution solution;
+  solution.feasible = true;
+  solution.energy = 1.0;
+  solution.speeds = {1.0, 2.0, 3.0};
+  solution.method = "stress";
+
+  std::atomic<bool> stop{false};
+  std::thread sampler([&] {
+    // Stats samples race against every get/put: the snapshot must stay
+    // internally consistent (entries within cap, hits+misses = lookups).
+    while (!stop.load(std::memory_order_relaxed)) {
+      const re::CacheStats s = cache.stats();
+      EXPECT_LE(s.entries, 16u);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key =
+            "key-" + std::to_string((i * (t + 1)) % kKeys);
+        if (const auto hit = cache.get(key)) {
+          EXPECT_EQ(hit->method, "stress");
+        } else {
+          cache.put(key, solution);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  sampler.join();
+
+  const re::CacheStats s = cache.stats();
+  EXPECT_LE(s.entries, 16u);
+  EXPECT_EQ(s.hits + s.misses, kThreads * static_cast<std::uint64_t>(kOps));
+  EXPECT_GT(s.evictions, 0u);
+}
+
+TEST(ConcurrencyStress, ThreadPoolChurn) {
+  // Construct, load, and destroy pools in a loop: the submit/worker_loop
+  // handshake and the stopping drain run under TSan every iteration.
+  for (int round = 0; round < 8; ++round) {
+    std::atomic<int> counter{0};
+    {
+      ru::ThreadPool pool(3);
+      for (int i = 0; i < 64; ++i) {
+        (void)pool.submit([&] { counter.fetch_add(1); });
+      }
+      pool.parallel_for(0, 64, [&](std::size_t) { counter.fetch_add(1); });
+    }  // destructor drains the queue before joining
+    EXPECT_EQ(counter.load(), 128);
+  }
+}

@@ -1,0 +1,203 @@
+#!/usr/bin/env bash
+# Repo-rule linter (CI's rules-check step, next to check_docs.sh). Three
+# rules, each born from a bug class this repo has actually seen or
+# designed against:
+#
+#   1. naked-mutex: no raw std::mutex / std::shared_mutex /
+#      std::condition_variable / std:: lock wrappers outside
+#      src/util/annotated_mutex.hpp. Everything else must go through the
+#      annotated wrappers so Clang's -Wthread-safety can see every lock
+#      (docs/architecture.md, "Concurrency model").
+#
+#   2. memo-key coverage: every field of core::SolveOptions, of the
+#      model::EnergyModel variant structs, and of model::SleepSpec must be
+#      named in src/engine/instance_key.cpp. The PR-2 bug class: add a
+#      solver-relevant knob, forget the hash line, and two different
+#      instances alias onto one memo entry — the cache silently serves
+#      wrong answers. A field that genuinely must not be hashed gets a
+#      `// key-exempt(name): reason` line in instance_key.cpp.
+#
+#   3. float-eq: no ==/!= against a NONZERO float literal in src/core.
+#      Exact zero tests are legitimate sentinels ("no work on this node");
+#      comparing against any other literal is a tolerance bug. A
+#      deliberate exception carries `// rule-exempt: float-eq` on the line.
+#
+# Usage: tools/check_rules.sh            lint the repo
+#        tools/check_rules.sh --self-test
+#            inject one violation per rule into a scratch tree and verify
+#            the linter actually fails on each (CI runs this too: a linter
+#            that cannot fail is not a gate).
+set -u
+cd "$(dirname "$0")/.."
+root="${RULES_ROOT:-.}"
+failures=0
+
+say_fail() {
+  echo "rules-check: FAIL: $*" >&2
+  failures=$((failures + 1))
+}
+
+# --- 1. naked-mutex ----------------------------------------------------
+rule_naked_mutex() {
+  local hits
+  hits=$(grep -rn \
+      -e 'std::mutex' -e 'std::shared_mutex' -e 'std::condition_variable' \
+      -e 'std::lock_guard' -e 'std::unique_lock' -e 'std::scoped_lock' \
+      -e '#include <mutex>' -e '#include <shared_mutex>' \
+      -e '#include <condition_variable>' \
+      --include='*.cpp' --include='*.hpp' \
+      "$root/src" "$root/tools" "$root/bench" "$root/tests" 2>/dev/null \
+      | grep -v 'src/util/annotated_mutex\.hpp')
+  if [ -n "$hits" ]; then
+    while IFS= read -r hit; do
+      say_fail "naked-mutex: $hit (use util/annotated_mutex.hpp wrappers)"
+    done <<< "$hits"
+  fi
+}
+
+# --- 2. memo-key coverage ----------------------------------------------
+# Prints the data-member names of `struct $2` in file $1: declaration
+# lines inside the struct body that end in ';' and carry no '(' (skips
+# ctors, methods, and comments). Good enough for the plain aggregates
+# these rules cover; a parse miss fails CLOSED (the field shows up and
+# must be hashed) rather than open.
+struct_fields() {
+  local file="$1" name="$2"
+  awk -v struct="$name" '
+    $0 ~ "^struct " struct " \\{" { depth = 1; next }
+    depth > 0 {
+      at_top = (depth == 1)
+      depth += gsub(/\{/, "{") - gsub(/\}/, "}")
+      if (depth <= 0) { depth = 0; next }
+      # Only member declarations directly inside the struct body count.
+      # Strip the trailing comment first (fields document themselves with
+      # ///<), then the initializer (which may contain calls, e.g.
+      # std::numeric_limits<double>::infinity()); what remains must be
+      # "type name;" with no "(" — a "(" now means a ctor or method.
+      line = $0
+      sub(/\/\/.*/, "", line)
+      gsub(/[[:space:]]+$/, "", line)
+      if (at_top && line ~ /;$/ && line !~ /return/ && line !~ /operator/ &&
+          line !~ /friend/ && line !~ /using/ && line !~ /static/) {
+        sub(/=.*/, "", line)
+        sub(/;$/, "", line)
+        gsub(/[[:space:]]+$/, "", line)
+        if (line !~ /\(/) {
+          n = split(line, parts, /[[:space:]]+/)
+          if (n >= 2 && parts[n] ~ /^[A-Za-z_][A-Za-z0-9_]*$/) print parts[n]
+        }
+      }
+    }
+  ' "$file"
+}
+
+rule_memo_key() {
+  local key_src="$root/src/engine/instance_key.cpp"
+  if [ ! -f "$key_src" ]; then
+    say_fail "memo-key: $key_src missing"
+    return
+  fi
+  check_struct() {
+    local file="$1" name="$2" field
+    if [ ! -f "$file" ]; then
+      say_fail "memo-key: $file missing (looked for struct $name)"
+      return
+    fi
+    while IFS= read -r field; do
+      [ -n "$field" ] || continue
+      if ! grep -qw "$field" "$key_src" \
+          && ! grep -q "key-exempt($field)" "$key_src"; then
+        say_fail "memo-key: $name::$field is not hashed in" \
+                 "src/engine/instance_key.cpp (and carries no" \
+                 "'// key-exempt($field): ...' line) — distinct instances" \
+                 "would alias onto one memo entry"
+      fi
+    done < <(struct_fields "$file" "$name")
+  }
+  check_struct "$root/src/core/solve.hpp" SolveOptions
+  check_struct "$root/src/model/energy_model.hpp" ContinuousModel
+  check_struct "$root/src/model/energy_model.hpp" DiscreteModel
+  check_struct "$root/src/model/energy_model.hpp" VddHoppingModel
+  check_struct "$root/src/model/energy_model.hpp" IncrementalModel
+  check_struct "$root/src/model/power_model.hpp" SleepSpec
+}
+
+# --- 3. float-eq -------------------------------------------------------
+rule_float_eq() {
+  local hits
+  hits=$(grep -rnE '[=!]= *[0-9]+\.[0-9]*' \
+      --include='*.cpp' --include='*.hpp' "$root/src/core" 2>/dev/null \
+      | grep -vE '[=!]= *0\.0*([^0-9]|$)' \
+      | grep -v 'rule-exempt: float-eq')
+  if [ -n "$hits" ]; then
+    while IFS= read -r hit; do
+      say_fail "float-eq: $hit (compare with a tolerance, or mark a" \
+               "deliberate exact test '// rule-exempt: float-eq')"
+    done <<< "$hits"
+  fi
+}
+
+# --- self-test ---------------------------------------------------------
+# Each rule must fail on a planted violation; a gate that cannot fire is
+# decoration. Builds a scratch tree from the real sources, injects one
+# violation per rule, and expects one failure per rule.
+self_test() {
+  local scratch
+  scratch=$(mktemp -d)
+  trap 'rm -rf "$scratch"' EXIT
+  mkdir -p "$scratch/src/core" "$scratch/src/model" "$scratch/src/engine" \
+           "$scratch/tools" "$scratch/bench" "$scratch/tests"
+  cp src/core/solve.hpp "$scratch/src/core/"
+  cp src/model/energy_model.hpp src/model/power_model.hpp \
+     "$scratch/src/model/"
+  cp src/engine/instance_key.cpp "$scratch/src/engine/"
+
+  # 1. a naked std::mutex outside util/
+  printf '#include <mutex>\nstd::mutex bad_mutex;\n' \
+      > "$scratch/src/engine/injected.cpp"
+  # 2. a solver-relevant knob with no matching hash line
+  sed -i 's/^struct SolveOptions {$/struct SolveOptions {\n  double injected_knob = 0.5;/' \
+      "$scratch/src/core/solve.hpp"
+  # 3. equality against a nonzero float literal
+  printf 'bool injected(double x) { return x == 1.5; }\n' \
+      > "$scratch/src/core/injected.cpp"
+
+  local out status
+  out=$(RULES_ROOT="$scratch" "$0" 2>&1)
+  status=$?
+  local ok=1
+  [ "$status" -ne 0 ] || { echo "self-test: linter passed a bad tree"; ok=0; }
+  echo "$out" | grep -q 'naked-mutex: .*injected\.cpp' \
+      || { echo "self-test: naked-mutex rule did not fire"; ok=0; }
+  echo "$out" | grep -q 'memo-key: SolveOptions::injected_knob' \
+      || { echo "self-test: memo-key rule did not fire"; ok=0; }
+  echo "$out" | grep -q 'float-eq: .*injected\.cpp' \
+      || { echo "self-test: float-eq rule did not fire"; ok=0; }
+
+  # And the real tree must pass, or the gate blocks every PR.
+  if ! RULES_ROOT=. "$0" > /dev/null 2>&1; then
+    echo "self-test: linter fails on the actual repo"
+    ok=0
+  fi
+
+  if [ "$ok" -eq 1 ]; then
+    echo "rules-check self-test: OK (all 3 rules fire on planted violations)"
+    exit 0
+  fi
+  echo "rules-check self-test: FAILED" >&2
+  exit 1
+}
+
+if [ "${1:-}" = "--self-test" ]; then
+  self_test
+fi
+
+rule_naked_mutex
+rule_memo_key
+rule_float_eq
+
+if [ "$failures" -gt 0 ]; then
+  echo "rules-check: $failures problem(s)" >&2
+  exit 1
+fi
+echo "rules-check: OK"

@@ -19,12 +19,12 @@
 #include <fstream>
 #include <iostream>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "net/client.hpp"
+#include "util/annotated_mutex.hpp"
 #include "tool_common.hpp"
 #include "util/timer.hpp"
 
@@ -220,7 +220,7 @@ int run(const Args& args) {
   // id -> slot map is filled under the same lock send_solve holds
   // internally... not quite: send and map-insert must be atomic together,
   // hence this mutex around both.
-  std::mutex id_mutex;
+  reclaim::util::Mutex id_mutex;
   std::map<std::uint64_t, std::size_t> id_to_slot;
   std::atomic<std::size_t> answered{0};
   std::size_t out_of_order = 0;
@@ -238,7 +238,7 @@ int run(const Args& args) {
         }
         std::size_t slot_index = 0;
         {
-          const std::lock_guard lock(id_mutex);
+          const reclaim::util::MutexLock lock(id_mutex);
           const auto it = id_to_slot.find(message->id);
           if (it == id_to_slot.end()) {
             transport_error = "reply for unknown request id " +
@@ -273,7 +273,7 @@ int run(const Args& args) {
   });
 
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    const std::lock_guard lock(id_mutex);
+    const reclaim::util::MutexLock lock(id_mutex);
     const std::uint64_t id = client.send_solve(requests[i]);
     id_to_slot.emplace(id, i);
   }

@@ -26,10 +26,11 @@
 # carried the flag — the regression held two runs in a row — a
 # "::warning::" soft alert is printed (so GitHub Actions annotates the
 # run). Informational for every bench except the hard-gated set —
-# bench_e12_batch_throughput and bench_e17_serve_throughput: their
-# workloads have proven low-noise, so a sustained regression there is a
-# hard gate — the script exits 1. Opt out with RECLAIM_BENCH_HARD_GATE=0
-# (e.g. on known-noisy hosts).
+# bench_e12_batch_throughput, bench_e17_serve_throughput and
+# bench_e18_sweep_throughput: their workloads have proven low-noise
+# (e18 ran soft-alert-only for a release cycle without a false alarm),
+# so a sustained regression there is a hard gate — the script exits 1.
+# Opt out with RECLAIM_BENCH_HARD_GATE=0 (e.g. on known-noisy hosts).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -174,7 +175,8 @@ print("[perf diff] informational only: regressions never fail the run")
 # clears the flag and the reference resets to reality.
 threshold = float(os.environ.get("RECLAIM_BENCH_ALERT_PCT", "10"))
 hard_gate = os.environ.get("RECLAIM_BENCH_HARD_GATE", "1") != "0"
-hard_gated = {"bench_e12_batch_throughput", "bench_e17_serve_throughput"}
+hard_gated = {"bench_e12_batch_throughput", "bench_e17_serve_throughput",
+              "bench_e18_sweep_throughput"}
 for name in sorted(now):
     p, n = prev.get(name, {}), now[name]
     n_rate = n.get("inst_s")
