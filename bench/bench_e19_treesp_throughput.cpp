@@ -1,0 +1,192 @@
+// E19 — tree/SP sweep throughput: the batched fast path on the
+// composition-plan families.
+//
+// PR 7's kernels covered the constant-speed closed forms (single / chain
+// / fork). Trees and series-parallel graphs have closed forms too
+// (Theorem 2's l_alpha composition), but the scalar path re-walks the
+// topology on every solve (the engine's shape cache spares the SP
+// re-decomposition, not the per-solve recursion or the memo probe). This
+// bench measures what planning the topology once per run buys:
+//
+//   out-tree / in-tree / SP grids of one topology with per-instance
+//   weights and deadlines, kernels ON vs scalar dispatch (memo ON — the
+//   pre-kernel sweep configuration) vs scalar with the memo ablated.
+//   Acceptance: >= 4x inst/s kernel vs scalar memo-ON at 1 thread on at
+//   least one family, and bit-identical results (asserted in-process
+//   here, fuzzed in tests/test_batch_kernels.cpp).
+//
+// The grids run uncapped: a finite top speed turns the rare instance
+// whose l_alpha-composed equivalent weight outruns the critical-path
+// deadline margin into a numeric-barrier solve on *both* paths (the
+// kernel hands it back bit-identically), and a handful of ~ms barrier
+// solves would dominate every column of a closed-form throughput
+// measurement (~140 of 20k SP instances cost more than the other 19,860
+// combined).
+#include <cmath>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace reclaim;
+
+/// A homogeneous tree/SP grid: `count` instances sharing one randomly
+/// generated topology, weights and deadlines varying per instance — the
+/// kernel-batchable sweep shape. The topology seed is fixed per family so
+/// every rep sweeps the same graph with distinct weights.
+std::vector<core::Instance> grid(const std::string& family, std::size_t count,
+                                 std::uint64_t seed) {
+  util::Rng topo_rng(977 + family.size());
+  graph::Digraph base = family == "outtree"
+                            ? graph::make_random_out_tree(6, topo_rng)
+                        : family == "intree"
+                            ? graph::make_random_in_tree(6, topo_rng)
+                            : graph::make_random_series_parallel(6, topo_rng);
+  util::Rng rng(seed);
+  std::vector<core::Instance> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    graph::Digraph g = base;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      g.set_weight(v, rng.uniform(0.5, 4.0));
+    }
+    const double d = rng.uniform(1.1, 3.0) * core::min_deadline(g, 2.0);
+    out.push_back(core::make_instance(std::move(g), d));
+  }
+  return out;
+}
+
+struct Timing {
+  double seconds = std::numeric_limits<double>::infinity();
+  std::vector<core::Solution> solutions;
+};
+
+/// Best-of-N timed batches with the configs interleaved round-robin: each
+/// rep times every engine back to back, so slow drift in host load (this
+/// runs on shared CI workers) lands on all columns instead of skewing the
+/// acceptance ratio. Grid 0 is an untimed warm-up (shape cache, arenas —
+/// and a populated memo for the memoizing engines); grids 1.. hold
+/// distinct instances so every timed solve is fresh work. threads == 1
+/// isolates the per-instance cost the kernels remove. Each Timing carries
+/// the best rep's seconds with the first timed grid's solutions.
+std::vector<Timing> timed_batches(
+    const std::vector<std::vector<core::Instance>>& grids,
+    const model::EnergyModel& model,
+    const std::vector<std::pair<bool, bool>>& memoize_kernels) {
+  std::vector<std::unique_ptr<engine::ReclaimEngine>> engines;
+  for (const auto& [memoize, use_kernels] : memoize_kernels) {
+    engine::EngineOptions options;
+    options.threads = 1;
+    options.memoize = memoize;
+    options.use_kernels = use_kernels;
+    engines.push_back(std::make_unique<engine::ReclaimEngine>(options));
+    (void)engines.back()->solve_batch(
+        std::span<const core::Instance>(grids.front()), model, {});
+  }
+  std::vector<Timing> best(engines.size());
+  for (std::size_t r = 1; r < grids.size(); ++r) {
+    for (std::size_t c = 0; c < engines.size(); ++c) {
+      util::Timer timer;
+      auto out = engines[c]->solve_batch(
+          std::span<const core::Instance>(grids[r]), model, {});
+      const double seconds = timer.seconds();
+      if (seconds < best[c].seconds) best[c].seconds = seconds;
+      if (r == 1) best[c].solutions = std::move(out);
+    }
+  }
+  return best;
+}
+
+void require_identical(const std::vector<core::Solution>& a,
+                       const std::vector<core::Solution>& b,
+                       const char* what) {
+  if (a.size() != b.size()) throw NumericalError(std::string(what) + ": size");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].feasible != b[i].feasible || a[i].energy != b[i].energy ||
+        a[i].method != b[i].method || a[i].speeds != b[i].speeds) {
+      throw NumericalError(std::string(what) +
+                           ": result diverged at instance " +
+                           std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E19 tree/SP sweep throughput (composition-plan kernels)",
+                "tree and series-parallel grid sweeps through the engine: "
+                "plan-once SoA kernels vs scalar dispatch (acceptance: >= 4x "
+                "inst/s vs scalar memo-ON at 1 thread, bit-identical)");
+
+  const model::EnergyModel continuous =
+      model::ContinuousModel{std::numeric_limits<double>::infinity()};
+  const std::size_t kGrid = 20000;
+
+  const auto measure = [&] {
+    bool speedup_met = false;
+    util::Table table("tree/SP grids: kernels vs scalar dispatch (1 thread)",
+                      {"family", "instances", "scalar inst/s", "no-memo inst/s",
+                       "kernel inst/s", "vs scalar", "vs no-memo"});
+    for (const char* family : {"outtree", "intree", "sp"}) {
+      // Best-of-10 timed reps (plus the warm-up grid): every column's
+      // allocation churn is sensitive to host contention, and the
+      // acceptance ratio below must hold on shared CI runners — best-of-N
+      // per column converges to the contention-free cost as N grows.
+      std::vector<std::vector<core::Instance>> grids;
+      for (std::uint64_t r = 0; r < 11; ++r) {
+        grids.push_back(grid(family, kGrid, 1906 + 41 * r));
+      }
+      const double n = static_cast<double>(kGrid);
+      const std::vector<Timing> timings =
+          timed_batches(grids, continuous,
+                        {{/*memoize=*/true, /*use_kernels=*/false},
+                         {/*memoize=*/false, /*use_kernels=*/false},
+                         {/*memoize=*/true, /*use_kernels=*/true}});
+      const Timing& scalar = timings[0];
+      const Timing& no_memo = timings[1];
+      const Timing& kernel = timings[2];
+      require_identical(kernel.solutions, scalar.solutions, family);
+      require_identical(kernel.solutions, no_memo.solutions, family);
+      const double scalar_rate = n / scalar.seconds;
+      const double no_memo_rate = n / no_memo.seconds;
+      const double kernel_rate = n / kernel.seconds;
+      if (kernel_rate >= 4.0 * scalar_rate) speedup_met = true;
+      table.add_row({family, util::Table::fmt(kGrid),
+                     util::Table::fmt(scalar_rate, 1),
+                     util::Table::fmt(no_memo_rate, 1),
+                     util::Table::fmt(kernel_rate, 1),
+                     util::Table::fmt_ratio(kernel_rate / scalar_rate, 2),
+                     util::Table::fmt_ratio(kernel_rate / no_memo_rate, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "kernel results verified bit-identical to the scalar path"
+              << std::endl;
+    return speedup_met;
+  };
+
+  bool speedup_met = measure();
+  if (!speedup_met) {
+    // One confirmation pass before failing: a contention burst on a shared
+    // host can shave the ratio below the line even at best-of-10, while a
+    // genuinely sub-4x host fails both attempts.
+    std::cout << "\nbest ratio under 4x on the first attempt -- re-measuring "
+                 "once before failing\n";
+    speedup_met = measure();
+  }
+  if (!speedup_met) {
+    std::cout.flush();
+    throw NumericalError(
+        "acceptance failed: no tree/SP family reached 4x inst/s with "
+        "kernels on");
+  }
+  std::cout << "\nAcceptance met: >= 4x inst/s on at least one tree/SP grid "
+               "sweep with kernels on, results bit-identical.\n";
+  return 0;
+}

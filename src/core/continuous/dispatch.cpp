@@ -235,12 +235,21 @@ Solution solve_exact_leaky(const Instance& instance,
     return reduction;  // unreachable: the reduction reported it infeasible
   }
 
+  const bool chain_shape =
+      options.shape_hint ? *options.shape_hint == graph::GraphShape::kChain
+                         : graph::is_chain(instance.exec_graph);
+  const bool fork_shape =
+      !chain_shape &&
+      (options.shape_hint ? *options.shape_hint == graph::GraphShape::kFork
+                          : graph::is_fork(instance.exec_graph));
+
   Solution exact;
-  if (options.shape_hint ? *options.shape_hint == graph::GraphShape::kChain
-                         : graph::is_chain(instance.exec_graph)) {
-    // Chains have a scalar exact solution (KKT waterfilling on the single
-    // coupling constraint); no second barrier run needed.
-    exact = solve_chain_waterfill(instance, caps, floors);
+  if (chain_shape || fork_shape) {
+    // Chains and forks have scalar exact solutions (KKT waterfilling on
+    // the single coupling constraint: the deadline for a chain, the
+    // source's duration for a fork); no second barrier run needed.
+    exact = chain_shape ? solve_chain_waterfill(instance, caps, floors)
+                        : solve_fork_waterfill(instance, caps, floors);
     arena.recycle_doubles(std::move(caps));
     arena.recycle_doubles(std::move(floors));
   } else {

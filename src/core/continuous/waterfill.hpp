@@ -43,4 +43,20 @@ namespace reclaim::core {
                                              const std::vector<double>& caps,
                                              const std::vector<double>& floors);
 
+/// Exact leaky optimum of a fork instance under the same per-task
+/// effective bounds. A fork has a single coupling variable: the source's
+/// duration d0. For fixed d0 every leaf independently runs for
+/// min(its unconstrained free duration, D - d0) — the free duration is
+/// w_v over the clamped critical speed, the lambda = 0 point of the chain
+/// waterfill — so the total duration-charged cost C(d0) is convex in d0
+/// and its derivative sign bisects to the optimum: the source's marginal
+/// cost against the summed marginal costs of the window-bound leaves.
+/// This replaces the second barrier run leaky forks used to take under
+/// LeakageMode::kExact (chains got their waterfill first). Same method
+/// string, "waterfill-exact-leaky"; an over-capacity instance returns an
+/// infeasible solution rather than throwing.
+[[nodiscard]] Solution solve_fork_waterfill(const Instance& instance,
+                                            const std::vector<double>& caps,
+                                            const std::vector<double>& floors);
+
 }  // namespace reclaim::core

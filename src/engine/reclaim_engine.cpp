@@ -34,6 +34,8 @@ std::size_t chunk_size(std::size_t n, std::size_t workers) {
 ReclaimEngine::ReclaimEngine(EngineOptions options)
     : options_(options),
       memo_(CacheLimits{options.memo_capacity, options.memo_bytes}) {
+  util::require(options_.kernel_min_run >= 2,
+                "ReclaimEngine: kernel_min_run must be >= 2");
   if (options_.threads != 1) {
     pool_ = std::make_unique<util::ThreadPool>(options_.threads);
   }
@@ -46,7 +48,9 @@ std::size_t ReclaimEngine::threads() const noexcept {
 }
 
 ReclaimEngine::ShapeEntry ReclaimEngine::shape_of(const graph::Digraph& g) {
-  if (!options_.reuse_shapes) return {graph::classify(g), nullptr, nullptr};
+  if (!options_.reuse_shapes) {
+    return {graph::classify(g), nullptr, nullptr, nullptr};
+  }
   const std::string key = topology_key(g);
   {
     const util::ReadLock lock(shape_mutex_);
@@ -56,13 +60,21 @@ ReclaimEngine::ShapeEntry ReclaimEngine::shape_of(const graph::Digraph& g) {
       return it->second;
     }
   }
-  ShapeEntry entry{graph::classify(g), nullptr, nullptr};
+  ShapeEntry entry{graph::classify(g), nullptr, nullptr, nullptr};
   if (entry.shape == graph::GraphShape::kSeriesParallel) {
     // Decompose once at cache-fill time; every later solve of this
-    // topology reuses the tree via ContinuousOptions::sp_hint.
+    // topology reuses the tree via ContinuousOptions::sp_hint, and the
+    // flattened composition plan feeds the batched SP kernel.
     if (auto tree = graph::sp_decompose(g)) {
       entry.sp_tree = std::make_shared<const graph::SpTree>(std::move(*tree));
+      entry.comp = core::build_sp_plan(entry.sp_tree);
     }
+  } else if (entry.shape == graph::GraphShape::kOutTree ||
+             entry.shape == graph::GraphShape::kInTree) {
+    // Flatten the topological order / adjacency once per topology so tree
+    // kernel runs of a cached shape skip the re-walk entirely.
+    entry.comp =
+        core::build_tree_plan(g, entry.shape == graph::GraphShape::kInTree);
   }
   if (options_.warm_start) {
     // One warm-start slot per cached topology; solves of this shape seed
@@ -274,37 +286,140 @@ std::vector<core::Solution> ReclaimEngine::kernel_batch(
     const std::function<bool(std::size_t)>& kernel_ok,
     const model::EnergyModel& model, const core::SolveOptions& options,
     const std::function<core::Solution(std::size_t)>& solve_scalar) {
-  // Plan homogeneous runs on the caller's thread before the drain starts.
-  // plan_of[i] holds (plan index + 1) for kernel-routed instances, 0 for
-  // scalar ones; runs shorter than kKernelMinRun stay scalar (planning a
-  // tiny run costs more than it saves).
-  std::vector<core::KernelPlan> plans;
-  std::vector<std::uint32_t> plan_of(n, 0);
-  bool any_kernel = false;
+  // Single-threaded engines take a fused discover/plan/solve pass: each
+  // run is kernel-solved right after its compatibility scan, while the
+  // instances are still cache-hot — a 20k-instance sweep streams the
+  // batch from memory once instead of twice. Semantics match the pooled
+  // path below exactly (same predicates, same plan, same hand-back).
+  if (!pool_) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<core::Solution> out(n);
+    auto& arena = util::Arena::scratch();
+    const util::Arena::Scope scope(arena);
+    auto ptrs = arena.alloc<const core::Instance*>(n);
+    std::size_t i = 0;
+    while (i < n) {
+      if (!kernel_ok(i) || !(instance_at(i).deadline > 0.0)) {
+        out[i] = solve_scalar(i);
+        ++i;
+        continue;
+      }
+      const core::Instance& head = instance_at(i);
+      ptrs[0] = &head;
+      std::size_t j = i + 1;
+      while (j < n && kernel_ok(j) &&
+             core::kernel_run_compatible(head, instance_at(j))) {
+        ptrs[j - i] = &instance_at(j);
+        ++j;
+      }
+      std::optional<core::KernelPlan> plan;
+      if (j - i >= options_.kernel_min_run) {
+        core::KernelPlanHints hints;
+        if (options_.reuse_shapes) {
+          const ShapeEntry entry = shape_of(head.exec_graph);
+          hints.shape = entry.shape;
+          hints.sp_tree = entry.sp_tree;
+          hints.comp = entry.comp;
+        }
+        plan = core::plan_kernel(head, model, options, hints);
+      }
+      if (!plan) {
+        for (std::size_t k = i; k < j; ++k) out[k] = solve_scalar(k);
+        i = j;
+        continue;
+      }
+      core::solve_kernel_run(*plan, ptrs.data(), j - i, out.data() + i);
+      std::size_t solved = 0;
+      for (std::size_t k = i; k < j; ++k) {
+        if (out[k].method.empty()) {
+          out[k] = solve_scalar(k);
+        } else {
+          ++solved;
+        }
+      }
+      instances_.fetch_add(solved, std::memory_order_relaxed);
+      fresh_solves_.fetch_add(solved, std::memory_order_relaxed);
+      kernel_solves_.fetch_add(solved, std::memory_order_relaxed);
+      kernel_family_[static_cast<std::size_t>(plan->family)].fetch_add(
+          solved, std::memory_order_relaxed);
+      i = j;
+    }
+    return out;
+  }
+
+  // Pass 1 (caller thread): discover maximal candidate runs with cheap
+  // structural predicates only — topology/model equality, no planning.
+  // Runs shorter than kernel_min_run stay scalar (planning a tiny run
+  // costs more than it saves).
+  struct Run {
+    std::size_t begin;
+    std::size_t end;
+  };
+  std::vector<Run> runs;
   std::size_t i = 0;
   while (i < n) {
-    if (!kernel_ok(i)) {
+    if (!kernel_ok(i) || !(instance_at(i).deadline > 0.0)) {
       ++i;
       continue;
     }
     const core::Instance& head = instance_at(i);
-    const auto plan = core::plan_kernel(head, model, options);
-    if (!plan) {
-      ++i;
-      continue;
-    }
     std::size_t j = i + 1;
     while (j < n && kernel_ok(j) &&
            core::kernel_run_compatible(head, instance_at(j))) {
       ++j;
     }
-    if (j - i >= kKernelMinRun) {
-      plans.push_back(*plan);
-      const auto tag = static_cast<std::uint32_t>(plans.size());
-      for (std::size_t k = i; k < j; ++k) plan_of[k] = tag;
-      any_kernel = true;
-    }
+    if (j - i >= options_.kernel_min_run) runs.push_back({i, j});
     i = j;
+  }
+
+  // Pass 2: plan each run from its head, feeding the planner the shape
+  // cache's analysis (classification, SP tree, composition plan) so a
+  // cached topology is never re-decomposed. Planning a tree/SP run walks
+  // the topology, so independent runs are sharded across the pool.
+  std::vector<std::optional<core::KernelPlan>> run_plans(runs.size());
+  const auto plan_run = [&](std::size_t r) {
+    const core::Instance& head = instance_at(runs[r].begin);
+    core::KernelPlanHints hints;
+    if (options_.reuse_shapes) {
+      const ShapeEntry entry = shape_of(head.exec_graph);
+      hints.shape = entry.shape;
+      hints.sp_tree = entry.sp_tree;
+      hints.comp = entry.comp;
+    }
+    run_plans[r] = core::plan_kernel(head, model, options, hints);
+  };
+  if (pool_ && runs.size() > 1) {
+    std::exception_ptr plan_error;
+    util::Mutex plan_error_mutex;
+    std::vector<std::future<void>> futures;
+    futures.reserve(runs.size());
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      futures.push_back(pool_->submit([&, r] {
+        try {
+          plan_run(r);
+        } catch (...) {
+          const util::MutexLock lock(plan_error_mutex);
+          if (!plan_error) plan_error = std::current_exception();
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+    if (plan_error) std::rethrow_exception(plan_error);
+  } else {
+    for (std::size_t r = 0; r < runs.size(); ++r) plan_run(r);
+  }
+
+  // plan_of[i] holds (plan index + 1) for kernel-routed instances, 0 for
+  // scalar ones; a run the planner rejected stays scalar wholesale.
+  std::vector<core::KernelPlan> plans;
+  std::vector<std::uint32_t> plan_of(n, 0);
+  bool any_kernel = false;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    if (!run_plans[r]) continue;
+    plans.push_back(std::move(*run_plans[r]));
+    const auto tag = static_cast<std::uint32_t>(plans.size());
+    for (std::size_t k = runs[r].begin; k < runs[r].end; ++k) plan_of[k] = tag;
+    any_kernel = true;
   }
 
   if (!any_kernel) {
@@ -335,14 +450,14 @@ std::vector<core::Solution> ReclaimEngine::kernel_batch(
         ptrs[seg_end - k] = &instance_at(seg_end);
         ++seg_end;
       }
-      core::solve_kernel_run(plans[tag - 1], ptrs.data(), seg_end - k,
-                             out + k);
+      const core::KernelPlan& plan = plans[tag - 1];
+      core::solve_kernel_run(plan, ptrs.data(), seg_end - k, out + k);
       std::size_t solved = 0;
       for (std::size_t s = k; s < seg_end; ++s) {
         if (out[s].method.empty()) {
-          // Kernel handed the instance back (fork floor violation):
-          // re-solve through the scalar path, which does its own
-          // accounting.
+          // Kernel handed the instance back (floor violation or a cap
+          // overrun it will not adjudicate): re-solve through the scalar
+          // path, which does its own accounting.
           out[s] = solve_scalar(s);
         } else {
           ++solved;
@@ -351,6 +466,8 @@ std::vector<core::Solution> ReclaimEngine::kernel_batch(
       instances_.fetch_add(solved, std::memory_order_relaxed);
       fresh_solves_.fetch_add(solved, std::memory_order_relaxed);
       kernel_solves_.fetch_add(solved, std::memory_order_relaxed);
+      kernel_family_[static_cast<std::size_t>(plan.family)].fetch_add(
+          solved, std::memory_order_relaxed);
       k = seg_end;
     }
   });
@@ -451,6 +568,15 @@ EngineStats ReclaimEngine::stats() const {
   s.crawl_solves = crawl_solves_.load(std::memory_order_relaxed);
   s.kernel_solves = kernel_solves_.load(std::memory_order_relaxed);
   s.warm_solves = warm_solves_.load(std::memory_order_relaxed);
+  const auto family = [&](core::KernelFamily f) {
+    return kernel_family_[static_cast<std::size_t>(f)].load(
+        std::memory_order_relaxed);
+  };
+  s.kernel_single = family(core::KernelFamily::kSingle);
+  s.kernel_chain = family(core::KernelFamily::kChain);
+  s.kernel_fork = family(core::KernelFamily::kFork);
+  s.kernel_tree = family(core::KernelFamily::kTree);
+  s.kernel_sp = family(core::KernelFamily::kSp);
   const CacheStats memo = memo_.stats();
   s.memo_entries = memo.entries;
   s.memo_bytes = memo.bytes;
@@ -476,6 +602,7 @@ void ReclaimEngine::clear_caches() {
   crawl_solves_.store(0);
   kernel_solves_.store(0);
   warm_solves_.store(0);
+  for (auto& counter : kernel_family_) counter.store(0);
 }
 
 }  // namespace reclaim::engine

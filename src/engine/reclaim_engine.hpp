@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/continuous/batch_kernels.hpp"
 #include "core/problem.hpp"
 #include "core/solve.hpp"
 #include "engine/solution_cache.hpp"
@@ -47,6 +48,12 @@
 #include "util/thread_pool.hpp"
 
 namespace reclaim::engine {
+
+/// Default minimum consecutive compatible instances before solve_batch
+/// routes a run through the batched kernels (EngineOptions::kernel_min_run);
+/// shorter runs stay scalar — the plan amortizes over the run, and tiny
+/// runs would pay more in planning than they save.
+inline constexpr std::size_t kKernelMinRun = 4;
 
 struct EngineOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency(). With 1
@@ -75,6 +82,11 @@ struct EngineOptions {
   /// bypass the memo (they are cheaper than a memo probe) and are
   /// reported separately via EngineStats::kernel_solves.
   bool use_kernels = true;
+  /// Minimum consecutive compatible instances before a run is routed
+  /// through the batched kernels; shorter runs stay scalar. Must be >= 2
+  /// (validated at construction): a "run" of one instance has nothing to
+  /// amortize the plan over, and the scalar path is strictly cheaper.
+  std::size_t kernel_min_run = kKernelMinRun;
   /// Seed numeric/barrier solves from the last solution of the same
   /// topology (the dispatch-cache shape is the memo slot), so parameter
   /// sweeps warm-start neighbor solves. The solver's acceptance guard
@@ -85,12 +97,6 @@ struct EngineOptions {
   /// thread counts. Requires reuse_shapes.
   bool warm_start = false;
 };
-
-/// Minimum consecutive compatible instances before solve_batch routes a
-/// run through the batched kernels; shorter runs stay scalar (the plan
-/// amortizes over the run, and tiny runs would pay more in planning than
-/// they save).
-inline constexpr std::size_t kKernelMinRun = 4;
 
 /// Cumulative counters since construction (or the last clear_caches()).
 /// Every counter is a relaxed atomic inside the engine, so stats() may be
@@ -114,6 +120,14 @@ struct EngineStats {
   /// seed from the dispatch cache (EngineOptions::warm_start).
   std::size_t kernel_solves = 0;
   std::size_t warm_solves = 0;
+  /// Per-family split of kernel_solves (which stays the total): which
+  /// closed-form kernel solved each fast-path instance. The tree/SP
+  /// counters are the observable for "sweeps stopped re-decomposing".
+  std::size_t kernel_single = 0;
+  std::size_t kernel_chain = 0;
+  std::size_t kernel_fork = 0;
+  std::size_t kernel_tree = 0;
+  std::size_t kernel_sp = 0;
   /// Long-lived memo surface (engine/solution_cache.hpp): live entries,
   /// estimated bytes, LRU evictions so far, and how stale the coldest
   /// entry is.
@@ -206,11 +220,14 @@ class ReclaimEngine {
 
   /// Cached structural analysis of one topology: the classification plus,
   /// for series-parallel graphs, the decomposition tree (so repeated SP
-  /// shapes skip the decomposition, their dominant structural cost), plus
-  /// the warm-start slot when warm starts are enabled.
+  /// shapes skip the decomposition, their dominant structural cost), the
+  /// flattened composition plan for tree/SP shapes (shared with the
+  /// batched kernels so neither the scalar nor the kernel path re-walks
+  /// the topology), plus the warm-start slot when warm starts are enabled.
   struct ShapeEntry {
     graph::GraphShape shape = graph::GraphShape::kGeneral;
     std::shared_ptr<const graph::SpTree> sp_tree;
+    std::shared_ptr<const core::CompositionPlan> comp;
     std::shared_ptr<WarmSlot> warm;
   };
 
@@ -234,8 +251,10 @@ class ReclaimEngine {
       const std::function<void(std::size_t, std::size_t, core::Solution*)>&
           solve_range);
   /// Kernel-aware batch driver shared by both solve_batch overloads:
-  /// plans homogeneous closed-form runs on the caller's thread (cheap
-  /// structural predicates only — never touches the shape cache), then
+  /// discovers candidate runs on the caller's thread (cheap structural
+  /// predicates only), plans them — sharded across the pool when there is
+  /// more than one, each plan reusing the shape cache's classification /
+  /// SP decomposition / composition plan for its head topology — then
   /// drains through run_batch solving kernel segments in one pass per
   /// chunk and everything else via solve_scalar.
   std::vector<core::Solution> kernel_batch(
@@ -263,6 +282,8 @@ class ReclaimEngine {
   std::atomic<std::size_t> crawl_solves_{0};
   std::atomic<std::size_t> kernel_solves_{0};
   std::atomic<std::size_t> warm_solves_{0};
+  /// Per-family split of kernel_solves_, indexed by core::KernelFamily.
+  std::atomic<std::size_t> kernel_family_[core::kKernelFamilies]{};
 };
 
 }  // namespace reclaim::engine

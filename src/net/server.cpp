@@ -318,6 +318,11 @@ StatsReply ReclaimServer::stats() const {
   reply.crawl_solves = engine.crawl_solves;
   reply.kernel_solves = engine.kernel_solves;
   reply.warm_solves = engine.warm_solves;
+  reply.kernel_single = engine.kernel_single;
+  reply.kernel_chain = engine.kernel_chain;
+  reply.kernel_fork = engine.kernel_fork;
+  reply.kernel_tree = engine.kernel_tree;
+  reply.kernel_sp = engine.kernel_sp;
 
   const util::MutexLock lock(clients_mutex_);
   reply.clients_connected = next_client_id_;
@@ -356,6 +361,11 @@ std::string ReclaimServer::stats_line() const {
   if (s.kernel_solves > 0 || s.warm_solves > 0) {
     line << "; fast path " << s.kernel_solves << " kernel + " << s.warm_solves
          << " warm";
+    if (s.kernel_solves > 0) {
+      line << " (kernel " << s.kernel_single << " single, " << s.kernel_chain
+           << " chain, " << s.kernel_fork << " fork, " << s.kernel_tree
+           << " tree, " << s.kernel_sp << " sp)";
+    }
   }
   return line.str();
 }

@@ -23,9 +23,11 @@
 
 namespace reclaim::net {
 
-/// Version 2 extends STATS_REPLY with the kernel_solves/warm_solves
-/// fast-path counters; everything else is unchanged from version 1.
-inline constexpr std::uint8_t kWireVersion = 2;
+/// Version 3 extends STATS_REPLY with the per-family kernel counters
+/// (kernel_single/chain/fork/tree/sp). Version 2 added the
+/// kernel_solves/warm_solves fast-path counters; everything else is
+/// unchanged from version 1.
+inline constexpr std::uint8_t kWireVersion = 3;
 
 /// Message type byte (docs/serve_protocol.md, "Message types").
 enum class MessageType : std::uint8_t {
@@ -114,6 +116,12 @@ struct StatsReply {
   std::uint64_t crawl_solves = 0;
   std::uint64_t kernel_solves = 0;
   std::uint64_t warm_solves = 0;
+  /// Per-family split of kernel_solves (which stays the total).
+  std::uint64_t kernel_single = 0;
+  std::uint64_t kernel_chain = 0;
+  std::uint64_t kernel_fork = 0;
+  std::uint64_t kernel_tree = 0;
+  std::uint64_t kernel_sp = 0;
 
   struct Client {
     std::uint64_t id = 0;

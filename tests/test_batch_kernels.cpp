@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/analysis.hpp"
@@ -16,7 +17,9 @@
 #include "engine/reclaim_engine.hpp"
 #include "graph/generators.hpp"
 #include "model/energy_model.hpp"
+#include "model/platform.hpp"
 #include "util/arena.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace rc = reclaim::core;
@@ -50,14 +53,33 @@ std::vector<rc::Instance> homogeneous_sweep(std::uint64_t seed,
   std::vector<rc::Instance> out;
   out.reserve(count);
   // One topology per sweep: same node count and edge set, varying weights.
+  // Tree/SP families share one randomly generated base topology (the very
+  // thing the batch planner keys on); everything else is rebuilt from the
+  // weights directly.
   const std::size_t n = 6;
-  std::vector<double> weights(family == "single" ? 1 : n);
+  std::optional<rg::Digraph> base;
+  if (family == "outtree") {
+    base = rg::make_random_out_tree(8, rng);
+  } else if (family == "intree") {
+    base = rg::make_random_in_tree(8, rng);
+  } else if (family == "sp") {
+    base = rg::make_random_series_parallel(8, rng);
+  }
+  std::vector<double> weights(family == "single" ? 1
+                              : base              ? base->num_nodes()
+                                                  : n);
   for (std::size_t i = 0; i < count; ++i) {
     for (double& w : weights) w = rng.uniform(0.5, 4.0);
     if (i % 7 == 3 && weights.size() > 2) weights[1] = 0.0;  // zero-weight task
-    rg::Digraph g = family == "chain"  ? rg::make_chain(weights)
-                    : family == "fork" ? rg::make_fork(weights)
-                                       : rg::make_chain({weights[0]});
+    rg::Digraph g;
+    if (base) {
+      g = *base;
+      for (rg::NodeId v = 0; v < g.num_nodes(); ++v) g.set_weight(v, weights[v]);
+    } else {
+      g = family == "chain"  ? rg::make_chain(weights)
+          : family == "fork" ? rg::make_fork(weights)
+                             : rg::make_chain({weights[0]});
+    }
     const double d_min = rc::min_deadline(g, 2.0);
     const double slack =
         (i % 4 == 0 && tight_fraction > 0.0) ? rng.uniform(0.4, 1.05)
@@ -67,23 +89,62 @@ std::vector<rc::Instance> homogeneous_sweep(std::uint64_t seed,
   return out;
 }
 
+/// A big.LITTLE-style sweep: one chain topology whose task slots alternate
+/// between two processor specs sharing one exponent (the hetero kernel's
+/// compatibility rule) but differing in P_stat and cap.
+std::vector<rc::Instance> hetero_chain_sweep(std::uint64_t seed,
+                                             std::size_t count,
+                                             double big_alpha = 3.0,
+                                             double little_alpha = 3.0) {
+  ru::Rng rng(seed);
+  const rm::Platform platform({{rm::make_power_model(big_alpha, 0.2), 2.0},
+                               {rm::make_power_model(little_alpha, 0.6), 1.2}});
+  const std::size_t n = 6;
+  std::vector<std::size_t> assignment(n);
+  for (std::size_t v = 0; v < n; ++v) assignment[v] = v % 2;
+  std::vector<double> weights(n);
+  std::vector<rc::Instance> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (double& w : weights) w = rng.uniform(0.5, 4.0);
+    if (i % 7 == 3) weights[1] = 0.0;
+    rg::Digraph g = rg::make_chain(weights);
+    // Feasible-by-construction deadlines against the slower cap; every
+    // 4th instance squeezed so the cap/floor hand-back branch fires too.
+    const double d_min = rc::min_deadline(g, 1.2);
+    const double slack =
+        i % 4 == 0 ? rng.uniform(0.5, 1.05) : rng.uniform(1.1, 3.0);
+    out.push_back(rc::make_instance(std::move(g), slack * d_min, platform,
+                                    assignment));
+  }
+  return out;
+}
+
 void expect_batches_identical(std::span<const rc::Instance> instances,
                               const rm::EnergyModel& model,
                               const rc::SolveOptions& options) {
+  // threads == 1 takes the fused discover/plan/solve pass, threads > 1
+  // the sharded pass-1/pass-2 pipeline — both must match the scalar path.
   re::EngineOptions kernel_opts;
   kernel_opts.threads = 1;
   kernel_opts.memoize = false;  // force every instance through a solver
+  re::EngineOptions pooled_opts = kernel_opts;
+  pooled_opts.threads = 4;
   re::EngineOptions scalar_opts = kernel_opts;
   scalar_opts.use_kernels = false;
 
   re::ReclaimEngine with_kernels(kernel_opts);
+  re::ReclaimEngine pooled(pooled_opts);
   re::ReclaimEngine scalar(scalar_opts);
   const auto fast = with_kernels.solve_batch(instances, model, options);
+  const auto pooled_fast = pooled.solve_batch(instances, model, options);
   const auto slow = scalar.solve_batch(instances, model, options);
   ASSERT_EQ(fast.size(), slow.size());
+  ASSERT_EQ(pooled_fast.size(), slow.size());
   for (std::size_t i = 0; i < fast.size(); ++i) {
     SCOPED_TRACE("instance " + std::to_string(i));
     expect_identical(fast[i], slow[i]);
+    expect_identical(pooled_fast[i], slow[i]);
   }
   // The sweep is one long homogeneous run: the kernel engine must have
   // actually taken the fast path, and the scalar engine must not have.
@@ -124,6 +185,64 @@ TEST(BatchKernels, LeakyForkSweepBitIdenticalUnderReduction) {
   expect_batches_identical(
       homogeneous_sweep(31, 200, "fork", rm::StaticPowerLaw(3.0, 0.8)), cont,
       {});
+}
+
+TEST(BatchKernels, OutTreeSweepBitIdentical) {
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  expect_batches_identical(
+      homogeneous_sweep(101, 200, "outtree", rm::PowerLaw(3.0)), cont, {});
+}
+
+TEST(BatchKernels, InTreeSweepBitIdentical) {
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  expect_batches_identical(
+      homogeneous_sweep(103, 200, "intree", rm::PowerLaw(3.0)), cont, {});
+}
+
+TEST(BatchKernels, SpSweepBitIdentical) {
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  expect_batches_identical(homogeneous_sweep(107, 200, "sp", rm::PowerLaw(3.0)),
+                           cont, {});
+}
+
+TEST(BatchKernels, LeakyTreeAndSpSweepsBitIdenticalUnderReduction) {
+  // Static power engages the s_crit floor: under-floor solutions must
+  // hand back to the scalar path and still match it bit for bit.
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  expect_batches_identical(
+      homogeneous_sweep(109, 150, "outtree", rm::StaticPowerLaw(3.0, 0.5)),
+      cont, {});
+  expect_batches_identical(
+      homogeneous_sweep(113, 150, "sp", rm::StaticPowerLaw(3.0, 0.8)), cont,
+      {});
+}
+
+TEST(BatchKernels, ExactLeakyTreeAndSpWithoutStaticPowerBitIdentical) {
+  // P_stat = 0 makes the reduction exact a priori, so the tree/SP kernels
+  // stay eligible under LeakageMode::kExact.
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  rc::SolveOptions options;
+  options.leakage = rc::LeakageMode::kExact;
+  expect_batches_identical(
+      homogeneous_sweep(127, 120, "intree", rm::PowerLaw(3.0)), cont, options);
+  expect_batches_identical(homogeneous_sweep(131, 120, "sp", rm::PowerLaw(3.0)),
+                           cont, options);
+}
+
+TEST(BatchKernels, SminFloorTreeSweepBitIdentical) {
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  rc::SolveOptions options;
+  options.continuous_s_min = 0.9;
+  expect_batches_identical(
+      homogeneous_sweep(137, 150, "outtree", rm::PowerLaw(3.0)), cont, options);
+}
+
+TEST(BatchKernels, HeteroChainSweepBitIdentical) {
+  // Shared exponent, per-slot P_stat and caps: the hetero chain kernel
+  // must reproduce solve_chain_hetero bit for bit, including the
+  // infeasible and hand-back branches on the squeezed instances.
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  expect_batches_identical(hetero_chain_sweep(139, 200), cont, {});
 }
 
 TEST(BatchKernels, ExactLeakyChainSweepBitIdentical) {
@@ -193,6 +312,64 @@ TEST(BatchKernels, PlannerRejectsIneligibleInstances) {
   auto chain = rg::make_chain({1.0, 2.0});
   const auto chain_inst = rc::make_instance(std::move(chain), 10.0, 3.0);
   EXPECT_FALSE(rc::plan_kernel(chain_inst, discrete, options).has_value());
+
+  // Joins are in-trees structurally but route to solve_join in the scalar
+  // dispatcher — the kernel planner must refuse them the same way.
+  const auto join =
+      rc::make_instance(rg::make_join({1.0, 2.0, 3.0}), 50.0, 3.0);
+  EXPECT_FALSE(rc::plan_kernel(join, cont, options).has_value());
+
+  // Exact-leaky trees/SP with static power run best-of(reduction, numeric)
+  // — not batchable; without static power the reduction is exact a priori
+  // and the kernel stays eligible.
+  ru::Rng tree_rng(61);
+  const auto tree = rc::make_instance(rg::make_random_out_tree(7, tree_rng),
+                                      50.0, rm::StaticPowerLaw(3.0, 0.5));
+  EXPECT_FALSE(rc::plan_kernel(tree, cont, exact).has_value());
+  EXPECT_TRUE(rc::plan_kernel(tree, cont, options).has_value());
+  const auto sp =
+      rc::make_instance(rg::make_random_series_parallel(7, tree_rng), 50.0,
+                        rm::StaticPowerLaw(3.0, 0.5));
+  EXPECT_FALSE(rc::plan_kernel(sp, cont, exact).has_value());
+  EXPECT_TRUE(rc::plan_kernel(sp, cont, options).has_value());
+}
+
+TEST(BatchKernels, HeteroPlannerRequiresSharedExponentAndReduction) {
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  const rc::SolveOptions options;
+
+  // Shared exponent across slots: plannable, and marked hetero.
+  const auto shared = hetero_chain_sweep(149, 1).front();
+  const auto plan = rc::plan_kernel(shared, cont, options);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->hetero);
+  EXPECT_EQ(plan->family, rc::KernelFamily::kChain);
+
+  // Mixed exponents fall to the scalar path (solve_chain_hetero's own
+  // mixed-alpha bailout), as does LeakageMode::kExact (the hetero exact
+  // route is the numeric one).
+  const auto mixed = hetero_chain_sweep(151, 1, 3.0, 2.5).front();
+  EXPECT_FALSE(rc::plan_kernel(mixed, cont, options).has_value());
+  rc::SolveOptions exact;
+  exact.leakage = rc::LeakageMode::kExact;
+  EXPECT_FALSE(rc::plan_kernel(shared, cont, exact).has_value());
+}
+
+TEST(BatchKernels, RunCompatibilityIsPerSlotOnHeteroPlatforms) {
+  // Same topology and per-slot specs: compatible.
+  const auto a = hetero_chain_sweep(157, 1).front();
+  const auto b = hetero_chain_sweep(163, 1).front();
+  EXPECT_TRUE(rc::kernel_run_compatible(a, b));
+
+  // Same topology, one slot on a different processor spec: incompatible.
+  const rm::Platform flipped({{rm::make_power_model(3.0, 0.2), 2.0},
+                              {rm::make_power_model(3.0, 0.9), 1.2}});
+  auto g = a.exec_graph;
+  std::vector<std::size_t> assignment(g.num_nodes());
+  for (std::size_t v = 0; v < assignment.size(); ++v) assignment[v] = v % 2;
+  const auto c =
+      rc::make_instance(std::move(g), a.deadline, flipped, assignment);
+  EXPECT_FALSE(rc::kernel_run_compatible(a, c));
 }
 
 TEST(BatchKernels, RunCompatibilityRequiresSharedTopologyAndModel) {
@@ -236,6 +413,76 @@ TEST(BatchKernels, StatsCountKernelSolves) {
   EXPECT_EQ(stats.kernel_solves, sweep.size());
   engine.clear_caches();
   EXPECT_EQ(engine.stats().kernel_solves, 0u);
+}
+
+TEST(BatchKernels, KernelMinRunIsConfigurable) {
+  // A pair of compatible instances is below the default threshold but
+  // engages the kernels once kernel_min_run is lowered to 2; values < 2
+  // are rejected at construction.
+  const auto pair = homogeneous_sweep(73, 2, "chain", rm::PowerLaw(3.0), 0.0);
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+
+  re::EngineOptions opts;
+  opts.threads = 1;
+  opts.memoize = false;
+  re::ReclaimEngine standard(opts);
+  (void)standard.solve_batch(std::span<const rc::Instance>(pair), cont, {});
+  EXPECT_EQ(standard.stats().kernel_solves, 0u);
+
+  opts.kernel_min_run = 2;
+  re::ReclaimEngine eager(opts);
+  (void)eager.solve_batch(std::span<const rc::Instance>(pair), cont, {});
+  EXPECT_EQ(eager.stats().kernel_solves, pair.size());
+
+  opts.kernel_min_run = 1;
+  EXPECT_THROW((void)re::ReclaimEngine(opts), reclaim::InvalidArgument);
+}
+
+TEST(BatchKernels, StatsSplitKernelSolvesPerFamily) {
+  // One run per family, no squeezed deadlines (hand-backs would land in
+  // the scalar counters): the per-family split must tile kernel_solves.
+  std::vector<rc::Instance> instances;
+  for (const char* family : {"single", "chain", "fork", "outtree", "sp"}) {
+    auto sweep = homogeneous_sweep(211, 10, family, rm::PowerLaw(3.0), 0.0);
+    for (auto& inst : sweep) instances.push_back(std::move(inst));
+  }
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  re::EngineOptions opts;
+  opts.threads = 1;
+  opts.memoize = false;
+  re::ReclaimEngine engine(opts);
+  (void)engine.solve_batch(std::span<const rc::Instance>(instances), cont, {});
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.kernel_single, 10u);
+  EXPECT_EQ(stats.kernel_chain, 10u);
+  EXPECT_EQ(stats.kernel_fork, 10u);
+  EXPECT_EQ(stats.kernel_tree, 10u);
+  EXPECT_EQ(stats.kernel_sp, 10u);
+  EXPECT_EQ(stats.kernel_single + stats.kernel_chain + stats.kernel_fork +
+                stats.kernel_tree + stats.kernel_sp,
+            stats.kernel_solves);
+  engine.clear_caches();
+  EXPECT_EQ(engine.stats().kernel_tree, 0u);
+}
+
+TEST(BatchKernels, KernelPlannerReusesShapeCache) {
+  // The planner consults the dispatch cache for the cached decomposition
+  // and composition plan: the second batch of a topology must hit it
+  // (shape_hits counts kernel-path planning too) and still kernel-solve
+  // every instance.
+  const auto sweep =
+      homogeneous_sweep(227, 40, "outtree", rm::PowerLaw(3.0), 0.0);
+  const rm::EnergyModel cont = rm::ContinuousModel{2.0};
+  re::EngineOptions opts;
+  opts.threads = 1;
+  opts.memoize = false;
+  re::ReclaimEngine engine(opts);
+  (void)engine.solve_batch(std::span<const rc::Instance>(sweep), cont, {});
+  (void)engine.solve_batch(std::span<const rc::Instance>(sweep), cont, {});
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.kernel_tree, 2 * sweep.size());
+  EXPECT_GE(stats.shape_hits, 1u);
+  EXPECT_EQ(stats.shape_entries, 1u);
 }
 
 // ----------------------------------------------------------- warm starts

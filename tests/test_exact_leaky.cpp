@@ -165,7 +165,8 @@ TEST(ExactLeaky, SlackForkBeatsReduction) {
 
   const auto exact = solve_mode(instance, kInf, rc::LeakageMode::kExact);
   ASSERT_TRUE(exact.feasible);
-  EXPECT_EQ(exact.method, "numeric-exact-leaky");
+  // Forks take the scalar single-variable waterfill, not a barrier run.
+  EXPECT_EQ(exact.method, "waterfill-exact-leaky");
   expect_schedule_feasible(instance, exact);
 
   const auto energy_at = [](double d0) {
@@ -178,6 +179,49 @@ TEST(ExactLeaky, SlackForkBeatsReduction) {
   // slightly faster.
   EXPECT_LT(exact.speeds[0], reduction.speeds[0] * (1.0 - 1e-3));
   EXPECT_LT(exact.energy, reduction.energy * (1.0 - 1e-3));
+}
+
+TEST(ExactLeaky, MixedPstatForkWaterfillMatchesGolden) {
+  // Fork root -> two leaves on three processors with distinct leakage:
+  // root pure s^3, leaf 1 P_stat = 3 (free duration 1/(3/2)^(1/3) ~
+  // 0.8736), leaf 2 pure (always window-bound). D = 1.5. The exact
+  // optimum couples through the single root duration d0:
+  //   f(d0) = 1/d0^2
+  //         + [D - d0 < 0.8736] squeezed leaf-1 cost, else its free cost
+  //         + 1/(D-d0)^2 + (D-d0) pure-leaf dynamic charge... computed
+  // below exactly as the duration-charged objective.
+  const auto app = rg::make_fork({1.0, 1.0, 1.0});
+  rs::Mapping mapping(3);
+  mapping.assign(0, 0);
+  mapping.assign(1, 1);
+  mapping.assign(2, 2);
+  const auto instance = rc::make_instance(
+      app, 1.5,
+      rm::Platform({{rm::make_power_model(3.0, 0.0), kInf},
+                    {rm::make_power_model(3.0, 3.0), kInf},
+                    {rm::make_power_model(3.0, 0.0), kInf}}),
+      mapping);
+
+  const auto reduction = solve_mode(instance, kInf, rc::LeakageMode::kReduction);
+  const auto exact = solve_mode(instance, kInf, rc::LeakageMode::kExact);
+  ASSERT_TRUE(reduction.feasible);
+  ASSERT_TRUE(exact.feasible);
+  EXPECT_EQ(exact.method, "waterfill-exact-leaky");
+  expect_schedule_feasible(instance, exact);
+
+  // Duration-charged objective with leaf 1 free below its critical
+  // duration d1_free (cost flat beyond it) and both pure tasks always
+  // window/deadline-bound.
+  const double d1_free = 1.0 / std::cbrt(3.0 / 2.0);
+  const auto f = [&](double d0) {
+    const double window = 1.5 - d0;
+    const double d1 = std::min(window, d1_free);
+    return 1.0 / (d0 * d0) + (3.0 * d1 + 1.0 / (d1 * d1)) +
+           1.0 / (window * window);
+  };
+  const double d0_star = golden_min(f, 0.2, 1.2);
+  EXPECT_NEAR(exact.energy, f(d0_star), 1e-5 * f(d0_star));
+  EXPECT_LE(exact.energy, reduction.energy * (1.0 + rc::kFeasibilityRelTol));
 }
 
 TEST(ExactLeaky, BitIdenticalWhereReductionIsExact) {

@@ -120,6 +120,7 @@ rule_memo_key() {
   check_struct "$root/src/model/energy_model.hpp" VddHoppingModel
   check_struct "$root/src/model/energy_model.hpp" IncrementalModel
   check_struct "$root/src/model/power_model.hpp" SleepSpec
+  check_struct "$root/src/engine/reclaim_engine.hpp" EngineOptions
 }
 
 # --- 3. float-eq -------------------------------------------------------
@@ -150,7 +151,8 @@ self_test() {
   cp src/core/solve.hpp "$scratch/src/core/"
   cp src/model/energy_model.hpp src/model/power_model.hpp \
      "$scratch/src/model/"
-  cp src/engine/instance_key.cpp "$scratch/src/engine/"
+  cp src/engine/instance_key.cpp src/engine/reclaim_engine.hpp \
+     "$scratch/src/engine/"
 
   # 1. a naked std::mutex outside util/
   printf '#include <mutex>\nstd::mutex bad_mutex;\n' \

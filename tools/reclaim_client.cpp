@@ -185,8 +185,11 @@ void print_server_stats(const net::StatsReply& stats) {
             << util::Table::fmt(
                    static_cast<double>(stats.memo_bytes) / 1024.0, 1)
             << " KiB, " << stats.memo_evictions << " evictions\n"
-            << "fast path: " << stats.kernel_solves << " kernel solves, "
-            << stats.warm_solves << " warm-started solves\n";
+            << "fast path: " << stats.kernel_solves << " kernel solves ("
+            << stats.kernel_single << " single, " << stats.kernel_chain
+            << " chain, " << stats.kernel_fork << " fork, " << stats.kernel_tree
+            << " tree, " << stats.kernel_sp << " sp), " << stats.warm_solves
+            << " warm-started solves\n";
   for (const auto& client : stats.clients) {
     std::cerr << "  client " << client.id << ": " << client.requests
               << " requests, " << client.results << " results, "

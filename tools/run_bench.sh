@@ -7,7 +7,7 @@
 #   tools/run_bench.sh [output-dir] [bench-glob]
 #
 # output-dir defaults to bench-results; bench-glob defaults to bench_e*
-# (CI records only the fast baselines with 'bench_e1[2345678]_*'). Set
+# (CI records only the fast baselines with 'bench_e1[23456789]_*'). Set
 # RECLAIM_BENCH_BUILD_DIR to reuse an existing Release build tree instead
 # of configuring build-bench from scratch.
 #
