@@ -1,0 +1,239 @@
+#include "core/continuous/sleep_dp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/classify.hpp"
+#include "graph/topo.hpp"
+#include "util/error.hpp"
+
+namespace reclaim::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Stationary busy-end of one gap branch priced at p_branch watts:
+/// stretching the segment by dd trades (alpha-1) s^alpha - P_stat of busy
+/// cost against p_branch of gap charge, so the optimum runs at
+/// s* = ((P_stat - p_branch)/(alpha-1))^(1/alpha) — below s_crit whenever
+/// the branch price is positive. When the branch is at least as expensive
+/// as leakage the trade never stops paying: absorb the gap entirely
+/// (finish as late as allowed).
+double branch_stationary_finish(double work, double t0, double latest,
+                                const model::PowerModel& power,
+                                double p_branch) {
+  const double surplus = power.p_static() - p_branch;
+  if (surplus <= 0.0) return latest;
+  const double s_star =
+      std::pow(surplus / (power.alpha() - 1.0), 1.0 / power.alpha());
+  return t0 + work / s_star;
+}
+
+}  // namespace
+
+TailOptimum optimal_tail_segment(double work, double t0, double t_max,
+                                 double window, const model::PowerModel& power,
+                                 double cap) {
+  TailOptimum best;
+  const model::SleepSpec& sleep = power.sleep();
+  const double hi = std::min(t_max, window);
+  if (work <= 0.0) {
+    // Nothing to run: the segment is the gap itself.
+    if (!within_deadline(t0, hi)) return best;
+    best.feasible = true;
+    best.finish = t0;
+    best.cost = sleep.gap_energy(std::max(0.0, window - t0));
+    return best;
+  }
+  double lo = t0 + (std::isfinite(cap) ? work / cap : 0.0);
+  if (!within_deadline(lo, hi)) return best;  // cap too slow for the range
+  lo = std::min(lo, hi);
+
+  // The objective phi(T) = window_energy(work, T - t0) + gap_energy(window
+  // - T) is strictly convex on each gap branch, so its minimum over
+  // [lo, hi] is a clamped branch-stationary point, the break-even kink, or
+  // an endpoint — a finite candidate set evaluated exactly.
+  double candidates[5];
+  std::size_t count = 0;
+  const auto push = [&](double t) {
+    candidates[count++] = std::clamp(t, lo, hi);
+  };
+  push(hi);
+  push(lo);
+  push(branch_stationary_finish(work, t0, hi, power, sleep.p_idle));
+  push(branch_stationary_finish(work, t0, hi, power, sleep.p_sleep));
+  const double kink = sleep.break_even();
+  if (std::isfinite(kink)) push(window - kink);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const double finish = candidates[i];
+    const double duration = finish - t0;
+    if (duration <= 0.0) continue;  // zero-length execution of real work
+    const double cost = power.window_energy(work, duration) +
+                        sleep.gap_energy(std::max(0.0, window - finish));
+    if (!best.feasible || cost < best.cost) {
+      best.feasible = true;
+      best.finish = finish;
+      best.cost = cost;
+    }
+  }
+  return best;
+}
+
+SleepDpResult solve_sleep_dp(const Instance& instance,
+                             const model::ContinuousModel& model,
+                             const SleepDpOptions& options) {
+  util::require(instance.platform.size() == 1,
+                "solve_sleep_dp: exactly one processor required");
+  const graph::GraphShape shape = graph::classify(instance.exec_graph);
+  util::require(shape == graph::GraphShape::kChain ||
+                    shape == graph::GraphShape::kSingleTask ||
+                    shape == graph::GraphShape::kEmpty,
+                "solve_sleep_dp: the execution order must be a chain");
+
+  const auto order_opt = graph::topological_order(instance.exec_graph);
+  util::require(order_opt.has_value(), "solve_sleep_dp: cyclic graph");
+  const std::vector<graph::NodeId>& order = *order_opt;
+  const std::size_t n = order.size();
+  const model::PowerModel& power = instance.platform.power(0);
+  const model::SleepSpec& sleep = power.sleep();
+  const double window = instance.deadline;
+  const double cap = std::min(model.s_max, instance.platform.cap(0));
+
+  std::vector<double> dl(n, window);
+  if (!options.task_deadlines.empty()) {
+    util::require(options.task_deadlines.size() == n,
+                  "solve_sleep_dp: one task deadline per task required");
+    dl = options.task_deadlines;
+    for (std::size_t i = 0; i < n; ++i) {
+      util::require(dl[i] > 0.0 && dl[i] <= window,
+                    "solve_sleep_dp: task deadlines must lie in (0, D]");
+      util::require(i == 0 || dl[i - 1] <= dl[i],
+                    "solve_sleep_dp: task deadlines must be agreeable "
+                    "(nondecreasing along the chain)");
+    }
+  }
+
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + instance.exec_graph.weight(order[i]);
+  }
+
+  SleepDpResult result;
+  result.solution = infeasible_solution("sleep-dp");
+  result.chosen = {kInf, 0.0};
+
+  // F[i]: cheapest busy energy of tasks 0..i-1 finishing *exactly* at
+  // dl[i-1] (a binding prefix), built from constant-speed blocks between
+  // consecutive bindings. F[0] = 0 at time 0.
+  std::vector<double> F(n + 1, kInf);
+  std::vector<std::size_t> parent(n + 1, 0);
+  std::vector<double> block_speed(n + 1, 0.0);
+  F[0] = 0.0;
+  std::size_t transitions = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double end = dl[i - 1];
+    for (std::size_t j = 0; j < i; ++j) {
+      if (!(F[j] < kInf)) continue;
+      const double work = prefix[i] - prefix[j];
+      if (work <= 0.0) continue;  // only real work can pin a binding
+      const double t0 = j == 0 ? 0.0 : dl[j - 1];
+      const double span = end - t0;
+      if (span <= 0.0) continue;
+      const double speed = work / span;
+      if (!within_speed_cap(speed, cap)) continue;
+      ++transitions;
+      bool interior_ok = true;
+      for (std::size_t k = j; k + 1 < i; ++k) {
+        const double done = prefix[k + 1] - prefix[j];
+        if (done <= 0.0) continue;
+        if (!within_deadline(t0 + done / speed, dl[k])) {
+          interior_ok = false;
+          break;
+        }
+      }
+      if (!interior_ok) continue;
+      const double cost = F[j] + power.task_energy(work, speed);
+      if (cost < F[i]) {
+        F[i] = cost;
+        parent[i] = j;
+        block_speed[i] = speed;
+      }
+    }
+  }
+
+  // Scan the free tail after the last binding prefix: tasks j..n-1 run at
+  // one speed from t0, finishing at the event-point optimum T, then the
+  // single consolidated gap [T, D] is charged.
+  double best_total = kInf;
+  std::size_t best_j = 0;
+  double best_finish = 0.0;
+  double best_tail_speed = 0.0;
+  bool found = false;
+  for (std::size_t j = 0; j <= n; ++j) {
+    if (!(F[j] < kInf)) continue;
+    const double t0 = j == 0 ? 0.0 : dl[j - 1];
+    const double tail_work = prefix[n] - prefix[j];
+    double total = kInf;
+    double finish = t0;
+    double tail_speed = 0.0;
+    if (tail_work <= 0.0) {
+      total = F[j] + sleep.gap_energy(std::max(0.0, window - t0));
+    } else {
+      double t_max = window;
+      for (std::size_t k = j; k < n; ++k) {
+        const double done = prefix[k + 1] - prefix[j];
+        if (done <= 0.0) continue;
+        t_max = std::min(t_max, t0 + tail_work * (dl[k] - t0) / done);
+      }
+      const TailOptimum tail =
+          optimal_tail_segment(tail_work, t0, t_max, window, power, cap);
+      if (!tail.feasible) continue;
+      total = F[j] + tail.cost;
+      finish = tail.finish;
+      tail_speed = tail_work / (tail.finish - t0);
+    }
+    if (!found || total < best_total) {
+      found = true;
+      best_total = total;
+      best_j = j;
+      best_finish = finish;
+      best_tail_speed = tail_speed;
+    }
+  }
+  if (!found) {
+    result.solution.iterations = transitions;
+    return result;  // infeasible even at the cap
+  }
+
+  // Reconstruct per-task speeds: the tail block, then the binding blocks
+  // back to the start. Zero-weight tasks keep speed 0 by convention.
+  std::vector<double> speeds(instance.exec_graph.num_nodes(), 0.0);
+  std::size_t blocks = 0;
+  const auto assign_block = [&](std::size_t lo_task, std::size_t hi_task,
+                                double speed) {
+    bool any = false;
+    for (std::size_t k = lo_task; k < hi_task; ++k) {
+      if (instance.exec_graph.weight(order[k]) == 0.0) continue;
+      speeds[order[k]] = speed;
+      any = true;
+    }
+    if (any) ++blocks;
+  };
+  assign_block(best_j, n, best_tail_speed);
+  for (std::size_t i = best_j; i > 0; i = parent[i]) {
+    assign_block(parent[i], i, block_speed[i]);
+  }
+
+  result.solution = speeds_solution(instance, speeds, "sleep-dp");
+  result.solution.iterations = transitions;
+  result.blocks = blocks;
+  result.busy_end = best_finish;
+  result.chosen.busy = result.solution.energy;
+  result.chosen.idle = sleep.gap_energy(std::max(0.0, window - best_finish));
+  return result;
+}
+
+}  // namespace reclaim::core

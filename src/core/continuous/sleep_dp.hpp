@@ -1,0 +1,89 @@
+// Exact single-processor min-energy scheduling with power-down: the
+// Baptiste-Chrobak-Durr anchor restricted to agreeable deadlines.
+//
+// Eligibility: one processor (a 1-spec platform, or every task assigned
+// to the same processor), a chain execution order, a homogeneous power
+// model, and agreeable per-task deadlines d_1 <= ... <= d_n (the default
+// is every task at the instance deadline — trivially agreeable, the shape
+// every mapped sweep instance has). Under those hypotheses the optimum
+// has a clean structure this file exploits exactly:
+//
+//   - No interior gaps. gap_energy(L) = min(p_idle L, p_sleep L + e_wake)
+//     is concave with gap_energy(0) = 0, hence subadditive: merging two
+//     gaps never costs more than charging them separately (e_wake is paid
+//     once instead of twice, the idle branch is linear). With no release
+//     times every block can shift left, so all idle time consolidates
+//     into one tail gap [T, D].
+//   - Piecewise-constant speeds that change only where a prefix finishes
+//     exactly at its deadline (KKT on the convex busy cost: between
+//     binding constraints the per-unit-work cost P_stat/s + s^(alpha-1)
+//     is shared, so Jensen forces one common speed per block).
+//   - A final busy-end T drawn from a finite event-point candidate set:
+//     the deadline bound, the cap bound, the stationary speeds of the two
+//     gap branches s*_idle = ((P_stat - p_idle)/(alpha-1))^(1/alpha) and
+//     s*_sleep (the "crawl below s_crit" speeds — the busy cost is traded
+//     against the gap charge, not against zero), and the break-even kink
+//     D - L*. On each gap branch the objective is strictly convex, so its
+//     minimum is either the clamped stationary point or an endpoint —
+//     all candidates.
+//
+// The DP enumerates binding-prefix patterns: F[i] = cheapest busy cost of
+// tasks 1..i finishing exactly at d_i, via blocks at common fitting speed
+// (interior prefixes checked); the answer scans the free tail segment
+// after the last binding prefix. O(n^3), exact to fp rounding — this is
+// a test oracle for solve_joint_sleep, not a production route.
+#pragma once
+
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/problem.hpp"
+#include "model/energy_model.hpp"
+
+namespace reclaim::core {
+
+struct SleepDpOptions {
+  /// Per-task deadlines in chain order; empty means every task is due at
+  /// the instance deadline. Must be positive, nondecreasing (agreeable)
+  /// and no later than the instance deadline.
+  std::vector<double> task_deadlines;
+};
+
+struct SleepDpResult {
+  /// Busy-optimal speeds; `energy` is busy energy (every solver's
+  /// semantics), `method` is "sleep-dp".
+  Solution solution;
+  PlatformEnergy chosen;     ///< busy + tail-gap charge over [0, deadline]
+  std::size_t blocks = 0;    ///< constant-speed blocks of the optimum
+  double busy_end = 0.0;     ///< T: the processor sleeps or idles in [T, D]
+};
+
+/// Optimal finish time of one tail segment: `work` units run contiguously
+/// from `t0` at a common speed, finishing at T in [t0 + work/cap,
+/// min(t_max, window)], followed by the gap charge of [T, window] under
+/// `power`'s sleep spec. Evaluates the closed-form event-point candidates
+/// (branch-stationary speeds, break-even kink, endpoints) exactly — the
+/// shared primitive of the DP's final segment and the joint solver's
+/// whole-processor stretch move. Returns feasible == false when the range
+/// is empty (cap too slow for t_max).
+struct TailOptimum {
+  double finish = 0.0;
+  double cost = 0.0;  ///< busy + gap energy; meaningless when infeasible
+  bool feasible = false;
+};
+
+[[nodiscard]] TailOptimum optimal_tail_segment(double work, double t0,
+                                               double t_max, double window,
+                                               const model::PowerModel& power,
+                                               double cap);
+
+/// Solves the instance exactly under the eligibility above. Throws
+/// InvalidArgument off the eligibility domain (multiple processors,
+/// non-chain execution order, heterogeneous models, non-agreeable or
+/// out-of-range task deadlines). An instance infeasible even at the cap
+/// returns the infeasible solution, not a throw.
+[[nodiscard]] SleepDpResult solve_sleep_dp(const Instance& instance,
+                                           const model::ContinuousModel& model,
+                                           const SleepDpOptions& options = {});
+
+}  // namespace reclaim::core

@@ -57,6 +57,26 @@ enum class LeakageMode {
   kExact,
 };
 
+/// How sleep-enabled continuous instances decide their power-down states.
+///
+/// kRace is the post-hoc comparison (core/continuous/race_to_idle.hpp):
+/// solve speeds first, then race a uniform speed-up against the crawl.
+/// kJoint makes the per-gap decision a solver variable: on top of the
+/// race anchor it alternates between re-solving speeds given the gap
+/// states and re-deciding gap states (sleep + wake, stay idle, or crawl
+/// below s_crit to absorb the gap) given the speeds, and is never worse
+/// than the race (core/continuous/joint_sleep.hpp). kDp is the exact
+/// single-processor agreeable-deadline dynamic program over event-point
+/// speed candidates (the Baptiste-Chrobak-Durr anchor,
+/// core/continuous/sleep_dp.hpp) — a test oracle, not a production route;
+/// it throws on instances outside its eligibility (one processor, chain
+/// execution order, homogeneous model).
+enum class SleepMode {
+  kRace,
+  kJoint,
+  kDp,
+};
+
 /// An instance of MinEnergy(G, D): the *execution* graph (original
 /// precedence edges plus same-processor chaining edges, see
 /// sched::build_execution_graph), the deadline, the platform (one power

@@ -1,6 +1,7 @@
 #include "core/solve.hpp"
 
 #include "core/continuous/dispatch.hpp"
+#include "core/continuous/sleep_dp.hpp"
 #include "core/discrete/exact_bb.hpp"
 #include "core/discrete/round_up.hpp"
 #include "core/vdd/lp_solver.hpp"
@@ -27,6 +28,14 @@ Solution solve(const Instance& instance, const model::EnergyModel& energy_model,
       [&](const auto& m) -> Solution {
         using M = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<M, model::ContinuousModel>) {
+          // kDp is the exact single-processor oracle (throws off its
+          // eligibility domain). kJoint needs a mapping to price gaps and
+          // is routed by the engine's mapped solves; here, with no mapping
+          // in sight, it behaves like kRace.
+          if (options.sleep_mode == SleepMode::kDp &&
+              instance.platform.has_sleep()) {
+            return solve_sleep_dp(instance, m).solution;
+          }
           ContinuousOptions continuous_options;
           continuous_options.rel_gap = options.rel_gap;
           continuous_options.s_min = options.continuous_s_min;

@@ -30,6 +30,12 @@ struct SolveOptions {
   /// and the Vdd LP already charge the true leaky cost of every mode, and
   /// CONT-ROUND's rounding analysis is a reduction-semantics bound.
   LeakageMode leakage = LeakageMode::kReduction;
+  /// Power-down handling of sleep-enabled continuous instances: the
+  /// post-hoc race (default), the joint speed + power-down refinement
+  /// (engine mapped routes and --joint-sleep), or the exact
+  /// single-processor DP oracle (throws off its eligibility domain).
+  /// Mode-based models ignore it; so do instances without a sleep spec.
+  SleepMode sleep_mode = SleepMode::kRace;
 };
 
 /// Solves the instance under `energy_model`. The returned Solution's

@@ -139,6 +139,20 @@ std::string instance_key(const core::Instance& instance,
   // the reduction is suboptimal, so aliasing them would serve the wrong
   // cached solution (docs/architecture.md, "Memo-key fields").
   key.push_back(options.leakage == core::LeakageMode::kExact ? 'X' : 'R');
+  // One byte per sleep_mode: race, joint and DP answers differ on
+  // sleep-enabled instances, so aliasing them would serve the wrong
+  // cached solution (docs/architecture.md, "Memo-key fields").
+  switch (options.sleep_mode) {
+    case core::SleepMode::kJoint:
+      key.push_back('J');
+      break;
+    case core::SleepMode::kDp:
+      key.push_back('P');
+      break;
+    case core::SleepMode::kRace:
+      key.push_back('R');
+      break;
+  }
   return key;
 }
 

@@ -8,7 +8,9 @@
 
 #include "core/continuous/batch_kernels.hpp"
 #include "core/continuous/dispatch.hpp"
+#include "core/continuous/joint_sleep.hpp"
 #include "core/continuous/race_to_idle.hpp"
+#include "core/continuous/sleep_dp.hpp"
 #include "core/discrete/chain_dp.hpp"
 #include "core/discrete/exact_bb.hpp"
 #include "core/discrete/round_up.hpp"
@@ -119,6 +121,12 @@ core::Solution ReclaimEngine::dispatch(const core::Instance& instance,
       [&](const auto& m) -> core::Solution {
         using M = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<M, model::ContinuousModel>) {
+          if (options.sleep_mode == core::SleepMode::kDp &&
+              instance.platform.has_sleep()) {
+            // The exact single-processor oracle; throws off its
+            // eligibility domain, exactly like the un-cached core route.
+            return core::solve_sleep_dp(instance, m).solution;
+          }
           core::ContinuousOptions continuous_options;
           continuous_options.rel_gap = options.rel_gap;
           continuous_options.s_min = options.continuous_s_min;
@@ -195,9 +203,12 @@ core::Solution ReclaimEngine::solve_mapped(const MappedInstance& mapped,
                                            const model::EnergyModel& model,
                                            const core::SolveOptions& options) {
   const auto* continuous = std::get_if<model::ContinuousModel>(&model);
-  if (continuous == nullptr || !mapped.instance.platform.has_sleep()) {
+  if (continuous == nullptr || !mapped.instance.platform.has_sleep() ||
+      options.sleep_mode == core::SleepMode::kDp) {
     // Without idle charges (or under a mode-based model) the mapping does
     // not change the optimum: share the plain route and its memo entries.
+    // The exact DP oracle is mapping-independent too (single processor,
+    // one consolidated tail gap), so it shares them as well.
     return solve_routed(mapped.instance, model, options);
   }
 
@@ -221,16 +232,31 @@ core::Solution ReclaimEngine::solve_mapped(const MappedInstance& mapped,
   const ShapeEntry entry = shape_of(mapped.instance.exec_graph);
   race.continuous.shape_hint = entry.shape;
   race.continuous.sp_hint = entry.sp_tree;
-  const core::RaceToIdleResult result = core::solve_race_to_idle(
-      mapped.instance, *continuous, mapped.mapping, race);
+
+  core::Solution solution;
+  if (options.sleep_mode == core::SleepMode::kJoint) {
+    core::JointSleepOptions joint;
+    joint.race = race;
+    const core::JointSleepResult result = core::solve_joint_sleep(
+        mapped.instance, *continuous, mapped.mapping, joint);
+    joint_solves_.fetch_add(1, std::memory_order_relaxed);
+    if (result.improved) {
+      joint_improved_.fetch_add(1, std::memory_order_relaxed);
+    }
+    solution = result.solution;
+  } else {
+    const core::RaceToIdleResult result = core::solve_race_to_idle(
+        mapped.instance, *continuous, mapped.mapping, race);
+    (result.raced ? raced_solves_ : crawl_solves_)
+        .fetch_add(1, std::memory_order_relaxed);
+    solution = result.solution;
+  }
   fresh_solves_.fetch_add(1, std::memory_order_relaxed);
-  (result.raced ? raced_solves_ : crawl_solves_)
-      .fetch_add(1, std::memory_order_relaxed);
 
   if (options_.memoize) {
-    memo_.put(key, result.solution);
+    memo_.put(key, solution);
   }
-  return result.solution;
+  return solution;
 }
 
 std::vector<core::Solution> ReclaimEngine::run_batch(
@@ -566,6 +592,8 @@ EngineStats ReclaimEngine::stats() const {
   s.shape_hits = shape_hits_.load(std::memory_order_relaxed);
   s.raced_solves = raced_solves_.load(std::memory_order_relaxed);
   s.crawl_solves = crawl_solves_.load(std::memory_order_relaxed);
+  s.joint_solves = joint_solves_.load(std::memory_order_relaxed);
+  s.joint_improved = joint_improved_.load(std::memory_order_relaxed);
   s.kernel_solves = kernel_solves_.load(std::memory_order_relaxed);
   s.warm_solves = warm_solves_.load(std::memory_order_relaxed);
   const auto family = [&](core::KernelFamily f) {
@@ -600,6 +628,8 @@ void ReclaimEngine::clear_caches() {
   shape_hits_.store(0);
   raced_solves_.store(0);
   crawl_solves_.store(0);
+  joint_solves_.store(0);
+  joint_improved_.store(0);
   kernel_solves_.store(0);
   warm_solves_.store(0);
   for (auto& counter : kernel_family_) counter.store(0);

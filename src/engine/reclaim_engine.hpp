@@ -114,6 +114,11 @@ struct EngineStats {
   /// where racing strictly won vs where the crawl stayed optimal.
   std::size_t raced_solves = 0;
   std::size_t crawl_solves = 0;
+  /// Joint speed/sleep routing of mapped batches (SolveOptions::sleep_mode
+  /// == kJoint, fresh solves only): instances that ran the joint refiner,
+  /// and the subset where it strictly beat the race-to-idle anchor.
+  std::size_t joint_solves = 0;
+  std::size_t joint_improved = 0;
   /// Fast-path split of the fresh solves: instances solved by the batched
   /// closed-form kernels (a subset of fresh_solves; the remainder took
   /// the scalar dispatch path) and barrier solves that received a warm
@@ -280,6 +285,8 @@ class ReclaimEngine {
   std::atomic<std::size_t> shape_hits_{0};
   std::atomic<std::size_t> raced_solves_{0};
   std::atomic<std::size_t> crawl_solves_{0};
+  std::atomic<std::size_t> joint_solves_{0};
+  std::atomic<std::size_t> joint_improved_{0};
   std::atomic<std::size_t> kernel_solves_{0};
   std::atomic<std::size_t> warm_solves_{0};
   /// Per-family split of kernel_solves_, indexed by core::KernelFamily.

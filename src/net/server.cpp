@@ -316,6 +316,8 @@ StatsReply ReclaimServer::stats() const {
       static_cast<std::uint64_t>(engine.memo_oldest_age_s * 1000.0);
   reply.raced_solves = engine.raced_solves;
   reply.crawl_solves = engine.crawl_solves;
+  reply.joint_solves = engine.joint_solves;
+  reply.joint_improved = engine.joint_improved;
   reply.kernel_solves = engine.kernel_solves;
   reply.warm_solves = engine.warm_solves;
   reply.kernel_single = engine.kernel_single;
@@ -357,6 +359,10 @@ std::string ReclaimServer::stats_line() const {
   if (s.memo_entries > 0) {
     line << ", oldest " << static_cast<double>(s.memo_oldest_age_ms) / 1000.0
          << "s";
+  }
+  if (s.joint_solves > 0) {
+    line << "; joint " << s.joint_improved << "/" << s.joint_solves
+         << " improved";
   }
   if (s.kernel_solves > 0 || s.warm_solves > 0) {
     line << "; fast path " << s.kernel_solves << " kernel + " << s.warm_solves

@@ -353,6 +353,8 @@ void put_stats_reply(std::string& out, const StatsReply& stats) {
   put_u64(out, stats.kernel_fork);
   put_u64(out, stats.kernel_tree);
   put_u64(out, stats.kernel_sp);
+  put_u64(out, stats.joint_solves);
+  put_u64(out, stats.joint_improved);
   put_u32(out, static_cast<std::uint32_t>(stats.clients.size()));
   for (const StatsReply::Client& client : stats.clients) {
     put_u64(out, client.id);
@@ -387,6 +389,8 @@ StatsReply read_stats_reply(Reader& in) {
   stats.kernel_fork = in.u64();
   stats.kernel_tree = in.u64();
   stats.kernel_sp = in.u64();
+  stats.joint_solves = in.u64();
+  stats.joint_improved = in.u64();
   const std::uint32_t clients = in.u32();
   stats.clients.reserve(clients);
   for (std::uint32_t c = 0; c < clients; ++c) {

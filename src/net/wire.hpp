@@ -23,11 +23,12 @@
 
 namespace reclaim::net {
 
-/// Version 3 extends STATS_REPLY with the per-family kernel counters
-/// (kernel_single/chain/fork/tree/sp). Version 2 added the
+/// Version 4 extends STATS_REPLY with the joint speed/sleep counters
+/// (joint_solves/joint_improved). Version 3 added the per-family kernel
+/// counters (kernel_single/chain/fork/tree/sp), version 2 the
 /// kernel_solves/warm_solves fast-path counters; everything else is
 /// unchanged from version 1.
-inline constexpr std::uint8_t kWireVersion = 3;
+inline constexpr std::uint8_t kWireVersion = 4;
 
 /// Message type byte (docs/serve_protocol.md, "Message types").
 enum class MessageType : std::uint8_t {
@@ -122,6 +123,10 @@ struct StatsReply {
   std::uint64_t kernel_fork = 0;
   std::uint64_t kernel_tree = 0;
   std::uint64_t kernel_sp = 0;
+  /// Joint speed/sleep routing (--joint-sleep): instances that ran the
+  /// joint refiner, and the subset that strictly beat the race anchor.
+  std::uint64_t joint_solves = 0;
+  std::uint64_t joint_improved = 0;
 
   struct Client {
     std::uint64_t id = 0;

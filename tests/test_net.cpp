@@ -166,6 +166,8 @@ TEST(Wire, RoundTripStatsReply) {
   stats.crawl_solves = 9;
   stats.kernel_solves = 25;
   stats.warm_solves = 4;
+  stats.joint_solves = 11;
+  stats.joint_improved = 6;
   stats.clients = {{1, 50, 50, 0}, {2, 50, 48, 2}};
   expect_round_trip({14, stats});
   EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.6);

@@ -201,6 +201,79 @@ TEST(IdleEnergy, ChargesEachGapAtTheCheaperBranch) {
             0.0);
 }
 
+TEST(IdleIntervals, ExactFitLeavesNoZeroLengthGaps) {
+  // Two chained tasks abutting exactly and filling the window to the
+  // deadline: neither the interior boundary nor the tail may surface as a
+  // zero-length gap, and the charge is exactly 0.0 — not an epsilon-length
+  // gap times a finite power, and no spurious e_wake.
+  rg::Digraph app;
+  const auto x = app.add_node(1.0, "X");
+  const auto y = app.add_node(1.0, "Y");
+  app.add_edge(x, y);
+  rs::Mapping mapping(1);
+  mapping.assign(0, x);
+  mapping.assign(0, y);
+  const auto exec = rs::build_execution_graph(app, mapping);
+  const std::vector<double> durations = {1.5, 2.5};
+  EXPECT_TRUE(rs::idle_intervals(exec, mapping, durations, 4.0).empty());
+  // Even a spec with a huge wake cost charges exactly nothing.
+  EXPECT_EQ(rs::idle_energy(exec, mapping, durations, 4.0,
+                            rm::make_power_model(3.0, 2.0,
+                                                 rm::make_sleep_spec(
+                                                     5.0, 0.0, 100.0))),
+            0.0);
+}
+
+TEST(IdleEnergy, GapExactlyAtBreakEvenChargesEitherBranchEqually) {
+  // One unit task in a window of 3: tail gap of length exactly the
+  // break-even L* = 4 / (3 - 1) = 2, where idle (3 * 2 = 6) and
+  // sleep + wake (1 * 2 + 4 = 6) agree — the charge must be that common
+  // value, whichever branch the implementation picks at the tie.
+  rg::Digraph app;
+  app.add_node(1.0, "T");
+  rs::Mapping mapping(1);
+  mapping.assign(0, 0);
+  const auto exec = rs::build_execution_graph(app, mapping);
+  const std::vector<double> durations = {1.0};
+  const auto power =
+      rm::make_power_model(3.0, 2.0, rm::make_sleep_spec(3.0, 1.0, 4.0));
+  EXPECT_DOUBLE_EQ(rs::idle_energy(exec, mapping, durations, 3.0, power),
+                   6.0);
+}
+
+TEST(IdleIntervals, TailGapRunsExactlyToTheDeadline) {
+  // The tail gap's end is the window itself, exactly — and a trailing
+  // zero-weight task occupies no time and must not split or shorten it.
+  rg::Digraph app;
+  const auto x = app.add_node(1.0, "X");
+  const auto z = app.add_node(0.0, "Z");
+  app.add_edge(x, z);
+  rs::Mapping mapping(1);
+  mapping.assign(0, x);
+  mapping.assign(0, z);
+  const auto exec = rs::build_execution_graph(app, mapping);
+  const std::vector<double> durations = {1.0, 0.0};
+  const auto gaps = rs::idle_intervals(exec, mapping, durations, 5.0);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], (rs::IdleInterval{0, 1.0, 5.0}));
+  EXPECT_EQ(gaps[0].end, 5.0);  // exactly the deadline, not deadline - eps
+}
+
+TEST(IdleEnergy, BackToBackWakesChargeEachTransition) {
+  // Race fixture at unit speeds: gaps 4.0 (P0 tail), 1.5 (P1 interior),
+  // 3.5 (P1 tail). Spec idle 3, sleep 0, wake 3 -> break-even 1: every
+  // gap sleeps, so P1 pays e_wake twice back-to-back (wake for C at t = 2,
+  // wake again at the deadline) — gap charges never merge across the busy
+  // interval between them: 3 + 3 + 3, not 3 + 3.
+  const auto fx = make_race_fixture(rm::SleepSpec{});
+  const auto& g = fx.instance.exec_graph;
+  const std::vector<double> durations = {2.0, 0.5, 0.5};
+  const auto power =
+      rm::make_power_model(3.0, 2.0, rm::make_sleep_spec(3.0, 0.0, 3.0));
+  EXPECT_DOUBLE_EQ(rs::idle_energy(g, fx.mapping, durations, 6.0, power),
+                   9.0);
+}
+
 TEST(PlatformEnergy, SplitsBusyAndIdleOverTheDeadlineWindow) {
   const auto fx =
       make_race_fixture(rm::make_sleep_spec(3.0, 0.0, 6.0));

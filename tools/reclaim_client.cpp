@@ -189,7 +189,9 @@ void print_server_stats(const net::StatsReply& stats) {
             << stats.kernel_single << " single, " << stats.kernel_chain
             << " chain, " << stats.kernel_fork << " fork, " << stats.kernel_tree
             << " tree, " << stats.kernel_sp << " sp), " << stats.warm_solves
-            << " warm-started solves\n";
+            << " warm-started solves\n"
+            << "joint sleep: " << stats.joint_improved << "/"
+            << stats.joint_solves << " solves improved on the race anchor\n";
   for (const auto& client : stats.clients) {
     std::cerr << "  client " << client.id << ": " << client.requests
               << " requests, " << client.results << " results, "

@@ -61,6 +61,9 @@ service:
                          [default 10; 0 = quiet]
   --leakage <mode>       exact | reduction applied to every request's
                          continuous solves            [default reduction]
+  --joint-sleep          route every request's sleep-enabled continuous
+                         solves through the joint speed + power-down
+                         refinement instead of the post-hoc race
   --help                 this text
 )";
   return 0;
@@ -108,7 +111,8 @@ int main(int argc, char** argv) {
     Args args;  // bare `reclaim_serve` runs with the defaults
     if (argc >= 2) {
       args = parse_args(argc, argv, "usage: reclaim_serve [--opt value]...",
-                        /*valueless=*/{"stdio", "no-kernels", "warm-start"});
+                        /*valueless=*/{"stdio", "no-kernels", "warm-start",
+                                       "joint-sleep"});
     }
     if (args.command == "help") return cmd_help();
     if (!args.command.empty()) {

@@ -4,12 +4,13 @@
 # BENCH_<name>.json, so future PRs can diff instances/second against this
 # one.
 #
-#   tools/run_bench.sh [output-dir] [bench-glob]
+#   tools/run_bench.sh [output-dir] [bench-glob...]
 #
-# output-dir defaults to bench-results; bench-glob defaults to bench_e*
-# (CI records only the fast baselines with 'bench_e1[23456789]_*'). Set
-# RECLAIM_BENCH_BUILD_DIR to reuse an existing Release build tree instead
-# of configuring build-bench from scratch.
+# output-dir defaults to bench-results; the bench globs default to
+# bench_e* (CI records only the fast baselines with
+# 'bench_e1[23456789]_*' 'bench_e20_*'). Set RECLAIM_BENCH_BUILD_DIR to
+# reuse an existing Release build tree instead of configuring build-bench
+# from scratch.
 #
 # Perf-trajectory diff: when RECLAIM_BENCH_BASELINE_DIR points at a
 # directory of BENCH_*.json files from a previous run (CI downloads the
@@ -35,7 +36,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 out_dir="${1:-$repo_root/bench-results}"
-pattern="${2:-bench_e*}"
+if [ "$#" -ge 2 ]; then patterns=("${@:2}"); else patterns=("bench_e*"); fi
 build_dir="${RECLAIM_BENCH_BUILD_DIR:-$repo_root/build-bench}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
@@ -47,8 +48,14 @@ stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 failures=0
 
-for bench in "$build_dir"/$pattern; do
-  [ -x "$bench" ] || continue
+benches=()
+for pattern in "${patterns[@]}"; do
+  for candidate in "$build_dir"/$pattern; do
+    [ -x "$candidate" ] && benches+=("$candidate")
+  done
+done
+
+for bench in "${benches[@]}"; do
   name="$(basename "$bench")"
   echo "=== $name"
   log="$out_dir/$name.log"

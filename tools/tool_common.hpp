@@ -159,7 +159,9 @@ inline model::SleepSpec parse_sleep(const Args& args) {
 }
 
 /// Solver options from --leakage exact|reduction (default reduction, the
-/// pre-exact semantics of every solver family).
+/// pre-exact semantics of every solver family) and --joint-sleep (route
+/// sleep-enabled continuous solves through the joint speed + power-down
+/// refinement instead of the post-hoc race).
 inline core::SolveOptions parse_solve_options(const Args& args) {
   core::SolveOptions options;
   if (const auto mode = args.get("leakage")) {
@@ -171,6 +173,9 @@ inline core::SolveOptions parse_solve_options(const Args& args) {
       throw InvalidArgument("--leakage expects 'exact' or 'reduction', got '" +
                             *mode + "'");
     }
+  }
+  if (args.flag("joint-sleep")) {
+    options.sleep_mode = core::SleepMode::kJoint;
   }
   return options;
 }
